@@ -1,0 +1,86 @@
+package ace_test
+
+import (
+	"testing"
+
+	"ace"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := ace.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Network().NumAlive() != 500 {
+		t.Fatalf("default peers = %d, want 500", sys.Network().NumAlive())
+	}
+	if !sys.Network().IsConnected() {
+		t.Fatal("default overlay disconnected")
+	}
+}
+
+func TestNewSystemOptions(t *testing.T) {
+	sys, err := ace.NewSystem(
+		ace.WithSeed(9),
+		ace.WithSize(800, 200),
+		ace.WithAvgDegree(6),
+		ace.WithDepth(2),
+		ace.WithPolicy(ace.PolicyClosest),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Network().NumAlive() != 200 {
+		t.Fatalf("peers = %d, want 200", sys.Network().NumAlive())
+	}
+	if got := sys.Optimizer().Config(); got.Depth != 2 || got.Policy != ace.PolicyClosest {
+		t.Fatalf("config not applied: %+v", got)
+	}
+	if _, err := ace.NewSystem(ace.WithSize(100, 200)); err == nil {
+		t.Fatal("peers > physical nodes accepted")
+	}
+}
+
+func TestSystemOptimizeImprovesQueries(t *testing.T) {
+	sys, err := ace.NewSystem(ace.WithSeed(2), ace.WithSize(900, 250), ace.WithAvgDegree(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	responders := map[ace.PeerID]bool{99: true}
+	before := sys.QueryBlind(0, 0, responders)
+	if before.Scope != 250 {
+		t.Fatalf("blind scope = %d, want 250", before.Scope)
+	}
+	sys.Optimize(8)
+	after := sys.Query(0, 0, responders)
+	if after.Scope < 249 {
+		t.Fatalf("ACE scope = %d, want >= 249", after.Scope)
+	}
+	if after.TrafficCost >= before.TrafficCost {
+		t.Fatalf("ACE traffic %v not below blind %v", after.TrafficCost, before.TrafficCost)
+	}
+}
+
+func TestSystemDeterministic(t *testing.T) {
+	run := func() float64 {
+		sys, err := ace.NewSystem(ace.WithSeed(4), ace.WithSize(700, 180), ace.WithAvgDegree(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Optimize(5)
+		return sys.Query(0, 0, nil).TrafficCost
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestSystemTTL(t *testing.T) {
+	sys, err := ace.NewSystem(ace.WithSeed(5), ace.WithSize(700, 180), ace.WithAvgDegree(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sys.QueryBlind(0, 1, nil); r.Scope >= 180 {
+		t.Fatalf("TTL=1 blind scope %d should be bounded by the degree", r.Scope)
+	}
+}

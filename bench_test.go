@@ -1,0 +1,294 @@
+package ace_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench regenerates its artifact at BenchScale (laptop size) and reports
+// the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the reproduction harness. cmd/figures runs the same drivers
+// at medium/paper scale with full series output.
+
+import (
+	"testing"
+	"time"
+
+	"ace"
+)
+
+func BenchmarkTable1Closure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := ace.Walkthrough()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(w.H1.TrafficCost, "tree-traffic")
+		b.ReportMetric(w.Blind.TrafficCost, "blind-traffic")
+		b.ReportMetric(float64(w.H1.Duplicates), "duplicates")
+	}
+}
+
+func BenchmarkTable2Closure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := ace.Walkthrough()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(w.H2.TrafficCost, "tree-traffic")
+		b.ReportMetric(float64(w.H2.Duplicates), "duplicates")
+	}
+}
+
+func BenchmarkFig3Phase2Example(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ace.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BlindTraffic, "blind-traffic")
+		b.ReportMetric(res.TreeTraffic, "tree-traffic")
+	}
+}
+
+// benchConvergence backs Figures 7 and 8 (one sweep feeds both).
+func benchConvergence(b *testing.B, report func(*ace.ConvergenceResult, *testing.B)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		conv, err := ace.StaticConvergence(ace.BenchScale, []int{4, 10}, 10, 1, ace.PolicyRandom)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(conv, b)
+	}
+}
+
+func BenchmarkFig7TrafficVsStep(b *testing.B) {
+	benchConvergence(b, func(conv *ace.ConvergenceResult, b *testing.B) {
+		b.ReportMetric(100*conv.Reduction(4), "reduction-C4-%")
+		b.ReportMetric(100*conv.Reduction(10), "reduction-C10-%")
+	})
+}
+
+func BenchmarkFig8ResponseVsStep(b *testing.B) {
+	benchConvergence(b, func(conv *ace.ConvergenceResult, b *testing.B) {
+		b.ReportMetric(100*conv.ResponseReduction(4), "resp-reduction-C4-%")
+		b.ReportMetric(100*conv.ResponseReduction(10), "resp-reduction-C10-%")
+	})
+}
+
+func BenchmarkScopeRetention(b *testing.B) {
+	benchConvergence(b, func(conv *ace.ConvergenceResult, b *testing.B) {
+		sc := conv.Scope[10]
+		b.ReportMetric(100*sc[len(sc)-1]/float64(ace.BenchScale.Peers), "scope-%")
+	})
+}
+
+// benchDynamic backs Figures 9 and 10.
+func benchDynamic(b *testing.B, report func(base, aced *ace.DynamicResult, b *testing.B)) {
+	b.Helper()
+	spec := ace.DefaultDynamicSpec(8, true)
+	spec.Duration = 15 * time.Minute
+	spec.Window = 100
+	for i := 0; i < b.N; i++ {
+		_, _, base, aced, err := ace.DynamicFigures(ace.BenchScale, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(base, aced, b)
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func BenchmarkFig9DynamicTraffic(b *testing.B) {
+	benchDynamic(b, func(base, aced *ace.DynamicResult, b *testing.B) {
+		b.ReportMetric(mean(base.TrafficWindows), "gnutella-traffic")
+		b.ReportMetric(mean(aced.TrafficWindows), "ace-traffic")
+	})
+}
+
+func BenchmarkFig10DynamicResponse(b *testing.B) {
+	benchDynamic(b, func(base, aced *ace.DynamicResult, b *testing.B) {
+		b.ReportMetric(mean(base.ResponseWindows), "gnutella-resp-ms")
+		b.ReportMetric(mean(aced.ResponseWindows[len(aced.ResponseWindows)/2:]), "ace-resp-ms")
+	})
+}
+
+// benchDepth backs Figures 11–16 (one sweep feeds all six).
+func benchDepth(b *testing.B, report func(*ace.DepthResult, *testing.B)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		dr, err := ace.DepthSweep(ace.BenchScale, []int{4, 10}, []int{1, 2, 3, 4}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(dr, b)
+	}
+}
+
+func BenchmarkFig11ReductionVsDepth(b *testing.B) {
+	benchDepth(b, func(dr *ace.DepthResult, b *testing.B) {
+		b.ReportMetric(100*dr.ReductionRate[10][1], "reduction-C10-h1-%")
+		b.ReportMetric(100*dr.ReductionRate[10][4], "reduction-C10-h4-%")
+	})
+}
+
+func BenchmarkFig12OverheadVsDepth(b *testing.B) {
+	benchDepth(b, func(dr *ace.DepthResult, b *testing.B) {
+		b.ReportMetric(dr.OverheadPerCycle[10][1], "overhead-h1")
+		b.ReportMetric(dr.OverheadPerCycle[10][4], "overhead-h4")
+	})
+}
+
+func BenchmarkFig13RateVsDepthC10(b *testing.B) {
+	benchDepth(b, func(dr *ace.DepthResult, b *testing.B) {
+		b.ReportMetric(dr.Rate(10, 1, 2), "rate-h1-R2")
+		b.ReportMetric(dr.Rate(10, 4, 2), "rate-h4-R2")
+	})
+}
+
+func BenchmarkFig14RateVsDepthC4(b *testing.B) {
+	benchDepth(b, func(dr *ace.DepthResult, b *testing.B) {
+		b.ReportMetric(dr.Rate(4, 1, 2), "rate-h1-R2")
+		b.ReportMetric(dr.Rate(4, 4, 2), "rate-h4-R2")
+	})
+}
+
+func BenchmarkFig15RateVsRatioC10(b *testing.B) {
+	benchDepth(b, func(dr *ace.DepthResult, b *testing.B) {
+		b.ReportMetric(float64(dr.MinimalDepth(10, 1)), "minh-R1")
+		b.ReportMetric(float64(dr.MinimalDepth(10, 2)), "minh-R2")
+	})
+}
+
+func BenchmarkFig16RateVsRatioC4(b *testing.B) {
+	benchDepth(b, func(dr *ace.DepthResult, b *testing.B) {
+		b.ReportMetric(float64(dr.MinimalDepth(4, 2)), "minh-R2")
+		b.ReportMetric(float64(dr.MinimalDepth(4, 3)), "minh-R3")
+	})
+}
+
+func BenchmarkCacheCombo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ace.CacheCombo(ace.BenchScale, 8, 1, 50, 200, 1500, 0.8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.TrafficReduction(), "traffic-reduction-%")
+		b.ReportMetric(100*res.ResponseReduction(), "resp-reduction-%")
+	}
+}
+
+func BenchmarkPolicyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ace.PolicyAblation(ace.BenchScale, 8, 8, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealWorldSnapshot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ace.RealWorld(ace.BenchScale, 8, 8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.SnapshotReduction, "snapshot-reduction-%")
+	}
+}
+
+// BenchmarkQueryEvaluation measures the raw evaluator cost (not a paper
+// artifact; the per-query engine underlying every figure).
+func BenchmarkQueryEvaluation(b *testing.B) {
+	sys, err := ace.NewSystem(ace.WithSeed(1), ace.WithSize(1200, 400), ace.WithAvgDegree(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Optimize(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Query(ace.PeerID(i%400), 0, nil)
+	}
+}
+
+// BenchmarkOptimizerRound measures one full ACE round.
+func BenchmarkOptimizerRound(b *testing.B) {
+	sys, err := ace.NewSystem(ace.WithSeed(1), ace.WithSize(1200, 400), ace.WithAvgDegree(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Optimize(1)
+	}
+}
+
+func BenchmarkBaselinesACEvsAOTOvsLTM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ace.Baselines(ace.BenchScale, 8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final := func(name string) float64 {
+			tr := res.Traffic[name]
+			return 100 * (1 - tr[len(tr)-1]/tr[0])
+		}
+		b.ReportMetric(final("ACE"), "ACE-reduction-%")
+		b.ReportMetric(final("AOTO"), "AOTO-reduction-%")
+		b.ReportMetric(final("LTM"), "LTM-reduction-%")
+	}
+}
+
+func BenchmarkRandomWalkMismatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ace.Walks(ace.BenchScale, 8, 8, 8, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BeforeTraffic, "walk-traffic-before")
+		b.ReportMetric(res.AfterTraffic, "walk-traffic-after")
+	}
+}
+
+func BenchmarkSubstrateRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ace.Robustness(ace.BenchScale, 8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.BAReduction, "BA-reduction-%")
+		b.ReportMetric(100*res.TransitStubReduction, "transitstub-reduction-%")
+	}
+}
+
+func BenchmarkTwoTierSupernodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ace.TwoTier(ace.BenchScale, 8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Traffic["random"]["blind"], "random-blind-traffic")
+		b.ReportMetric(res.Traffic["nearest"]["ace"], "nearest-ace-traffic")
+	}
+}
+
+func BenchmarkDesignAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ace.Ablation(ace.BenchScale, 8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Reduction["full"], "full-reduction-%")
+		b.ReportMetric(100*res.Reduction["sparse-knowledge"], "sparse-reduction-%")
+		b.ReportMetric(100*res.Reduction["no-election"], "noelection-reduction-%")
+	}
+}

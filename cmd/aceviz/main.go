@@ -1,0 +1,126 @@
+// Command aceviz visualizes the mismatch problem disappearing: it draws
+// the overlay's links as a histogram of physical delays and a plane map
+// of one peer's neighborhood, before and after ACE optimization.
+//
+//	go run ./cmd/aceviz -peers 300 -c 8 -steps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"ace"
+	"ace/internal/overlay"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	phys := flag.Int("phys", 1200, "physical topology size")
+	peers := flag.Int("peers", 300, "overlay population")
+	c := flag.Int("c", 8, "average overlay degree")
+	steps := flag.Int("steps", 10, "ACE rounds")
+	focus := flag.Int("focus", 0, "peer whose neighborhood to map")
+	flag.Parse()
+
+	sys, err := ace.NewSystem(
+		ace.WithSeed(*seed), ace.WithSize(*phys, *peers), ace.WithAvgDegree(*c),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aceviz:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("=== BEFORE ACE: link delays of the random (mismatched) overlay ===")
+	printHistogram(sys.Network())
+	printNeighborhood(sys, overlay.PeerID(*focus))
+
+	sys.Optimize(*steps)
+
+	fmt.Printf("\n=== AFTER %d ACE ROUNDS: links have collapsed toward physical neighbors ===\n", *steps)
+	printHistogram(sys.Network())
+	printNeighborhood(sys, overlay.PeerID(*focus))
+}
+
+// printHistogram buckets every live link by physical delay.
+func printHistogram(net *ace.Network) {
+	edges := net.SnapshotEdges()
+	if len(edges) == 0 {
+		fmt.Println("(no links)")
+		return
+	}
+	maxCost := 0.0
+	for _, e := range edges {
+		if e.Cost > maxCost {
+			maxCost = e.Cost
+		}
+	}
+	const buckets = 12
+	counts := make([]int, buckets)
+	for _, e := range edges {
+		b := int(e.Cost / (maxCost + 1e-9) * buckets)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	peak := 0
+	total := 0.0
+	for _, n := range counts {
+		if n > peak {
+			peak = n
+		}
+	}
+	for _, e := range edges {
+		total += e.Cost
+	}
+	fmt.Printf("%d links, mean delay %.1f ms\n", len(edges), total/float64(len(edges)))
+	for b, n := range counts {
+		lo := float64(b) / buckets * maxCost
+		hi := float64(b+1) / buckets * maxCost
+		bar := strings.Repeat("█", int(math.Round(float64(n)/float64(max(peak, 1))*40)))
+		fmt.Printf("%6.0f–%-6.0f %5d %s\n", lo, hi, n, bar)
+	}
+}
+
+// printNeighborhood draws the focus peer (X) and its neighbors (o) on the
+// physical plane, using the peers' attachment positions.
+func printNeighborhood(sys *ace.System, focus overlay.PeerID) {
+	net := sys.Network()
+	if int(focus) >= net.N() || !net.Alive(focus) {
+		return
+	}
+	env := sys.Env()
+	pos := env.Phys.Pos
+	const w, h = 56, 18
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat("·", w))
+	}
+	plot := func(p overlay.PeerID, mark rune) {
+		pt := pos[net.Attachment(p)]
+		x := int(pt.X * (w - 1))
+		y := int(pt.Y * (h - 1))
+		grid[y][x] = mark
+	}
+	for _, p := range net.AlivePeers() {
+		plot(p, '.')
+	}
+	for _, q := range net.Neighbors(focus) {
+		plot(q, 'o')
+	}
+	plot(focus, 'X')
+	fmt.Printf("neighborhood of peer %d on the physical plane (X = peer, o = its neighbors):\n", focus)
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,326 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (§3 worked examples, §5 experiments) and prints the series
+// as aligned rows plus an optional ASCII chart.
+//
+// Usage:
+//
+//	figures -exp all -scale medium
+//	figures -exp fig7 -scale paper -steps 16
+//	figures -exp table1
+//
+// Experiments: table1 table2 fig3 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13 fig14 fig15 fig16 (or depth, all six from one sweep) scope
+// cache policy baselines walks robust
+// twotier churnsweep ablation realworld all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"ace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, fig7, …, all)")
+	scale := flag.String("scale", "medium", "bench | medium | paper")
+	steps := flag.Int("steps", 12, "ACE optimization steps per run")
+	chart := flag.Bool("chart", true, "render ASCII charts")
+	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	minutes := flag.Int("minutes", 40, "simulated minutes for the dynamic runs")
+	seeds := flag.String("seeds", "", "comma-separated topology seeds overriding the scale preset")
+	flag.Parse()
+
+	var sc ace.Scale
+	switch *scale {
+	case "bench":
+		sc = ace.BenchScale
+	case "medium":
+		sc = ace.MediumScale
+	case "paper":
+		sc = ace.PaperScale
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *seeds != "" {
+		sc.Seeds = sc.Seeds[:0]
+		for _, part := range strings.Split(*seeds, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad seed %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			sc.Seeds = append(sc.Seeds, v)
+		}
+	}
+
+	run := func(id string) bool { return *exp == "all" || *exp == id }
+	printFig := func(fig ace.Figure) {
+		fmt.Println(fig.RenderSeries())
+		if *chart {
+			fmt.Println(fig.Chart(14, 56))
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, fig.ID+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	start := time.Now()
+	any := false
+
+	if run("table1") || run("table2") || run("fig3") {
+		any = true
+		if err := workedExamples(run); err != nil {
+			fatal(err)
+		}
+	}
+
+	if run("fig7") || run("fig8") || run("scope") {
+		any = true
+		conv, err := ace.StaticConvergence(sc, []int{4, 6, 8, 10}, *steps, 1, ace.PolicyRandom)
+		if err != nil {
+			fatal(err)
+		}
+		if run("fig7") {
+			printFig(conv.TrafficFigure())
+		}
+		if run("fig8") {
+			printFig(conv.ResponseFigure())
+		}
+		if run("scope") {
+			printFig(conv.ScopeFigure())
+		}
+		for _, c := range []int{4, 6, 8, 10} {
+			fmt.Printf("C=%-2d converged: traffic −%.1f%%  response −%.1f%%\n",
+				c, 100*conv.Reduction(c), 100*conv.ResponseReduction(c))
+		}
+		fmt.Println()
+	}
+
+	if run("fig9") || run("fig10") {
+		any = true
+		spec := ace.DefaultDynamicSpec(8, true)
+		spec.Duration = time.Duration(*minutes) * time.Minute
+		fig9, fig10, base, aced, err := ace.DynamicFigures(sc, spec)
+		if err != nil {
+			fatal(err)
+		}
+		if run("fig9") {
+			printFig(fig9)
+		}
+		if run("fig10") {
+			printFig(fig10)
+		}
+		fmt.Printf("dynamic: %d baseline queries, %d ACE queries; mean scope %.1f vs %.1f; failed %d vs %d\n\n",
+			base.Queries, aced.Queries, base.MeanScope, aced.MeanScope, base.FailedQueries, aced.FailedQueries)
+	}
+
+	// "depth" prints Figures 11–16 from a single sweep.
+	needDepth := run("fig11") || run("fig12") || run("fig13") || run("fig14") || run("fig15") || run("fig16") || run("depth")
+	if needDepth {
+		any = true
+		hs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+		dr, err := ace.DepthSweep(sc, []int{4, 6, 8, 10}, hs, *steps)
+		if err != nil {
+			fatal(err)
+		}
+		if run("fig11") || run("depth") {
+			printFig(dr.ReductionFigure())
+		}
+		if run("fig12") || run("depth") {
+			printFig(dr.OverheadFigure())
+		}
+		rsLow := []float64{1.0, 1.2, 1.4, 1.6, 1.8, 2.0}
+		rsHigh := []float64{1.0, 1.5, 2.0, 2.5, 3.0, 3.5}
+		if run("fig13") || run("depth") {
+			printFig(dr.RateVsDepthFigure("fig13", 10, rsLow))
+		}
+		if run("fig14") || run("depth") {
+			printFig(dr.RateVsDepthFigure("fig14", 4, rsHigh))
+		}
+		rSweep := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+		if run("fig15") || run("depth") {
+			printFig(dr.RateVsRatioFigure("fig15", 10, rSweep))
+		}
+		if run("fig16") || run("depth") {
+			printFig(dr.RateVsRatioFigure("fig16", 4, rSweep))
+		}
+		for _, c := range []int{4, 10} {
+			for _, r := range []float64{1.0, 1.5, 2.0, 3.0} {
+				fmt.Printf("minimal h for rate ≥ 1 at C=%-2d R=%.1f: %s\n", c, r, hOrNone(dr.MinimalDepth(c, r)))
+			}
+		}
+		fmt.Println()
+	}
+
+	if run("cache") {
+		any = true
+		res, err := ace.CacheCombo(sc, 8, 1, 50, 200, 2000, 0.8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("§5.2 ACE + index cache (paper: −75%% traffic, −70%% response):\n")
+		fmt.Printf("  traffic:  blind %.0f → ACE %.0f → ACE+cache %.0f  (−%.1f%%)\n",
+			res.BlindTraffic, res.ACETraffic, res.CachedTraffic, 100*res.TrafficReduction())
+		fmt.Printf("  response: blind %.0f → ACE %.0f → ACE+cache %.0f  (−%.1f%%)\n",
+			res.BlindResponse, res.ACEResponse, res.CachedResponse, 100*res.ResponseReduction())
+		fmt.Printf("  cache hits per query: %.2f\n\n", res.CacheHitRate)
+	}
+
+	if run("policy") {
+		any = true
+		fig, tbl, err := ace.PolicyAblation(sc, 8, *steps, 1)
+		if err != nil {
+			fatal(err)
+		}
+		printFig(fig)
+		fmt.Println(tbl.Render())
+	}
+
+	if run("baselines") {
+		any = true
+		res, err := ace.Baselines(sc, 8, *steps)
+		if err != nil {
+			fatal(err)
+		}
+		printFig(res.Figure())
+		fmt.Println(res.Table().Render())
+	}
+
+	if run("walks") {
+		any = true
+		res, err := ace.Walks(sc, 8, *steps, 8, 256)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("k-walker random-walk search, before vs after ACE (§2's mismatch argument):\n")
+		fmt.Printf("  traffic:  %.0f → %.0f (−%.1f%%)\n", res.BeforeTraffic, res.AfterTraffic,
+			100*(1-res.AfterTraffic/res.BeforeTraffic))
+		fmt.Printf("  response: %.1f → %.1f ms\n", res.BeforeResponse, res.AfterResponse)
+		fmt.Printf("  success:  %.1f%% → %.1f%%\n", 100*res.BeforeSuccess, 100*res.AfterSuccess)
+		fmt.Printf("  HPF partial flooding traffic: %.0f → %.0f (−%.1f%%)\n\n",
+			res.HPFBeforeTraffic, res.HPFAfterTraffic,
+			100*(1-res.HPFAfterTraffic/res.HPFBeforeTraffic))
+	}
+
+	if run("robust") {
+		any = true
+		res, err := ace.Robustness(sc, 8, *steps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("substrate robustness (traffic reduction): BA %.1f%%, transit-stub %.1f%%\n\n",
+			100*res.BAReduction, 100*res.TransitStubReduction)
+	}
+
+	if run("ablation") {
+		any = true
+		res, err := ace.Ablation(sc, 8, *steps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Table().Render())
+	}
+
+	if run("churnsweep") {
+		any = true
+		res, err := ace.ChurnSweep(sc, 8,
+			[]time.Duration{5 * time.Minute, 10 * time.Minute, 20 * time.Minute},
+			time.Duration(*minutes)*time.Minute)
+		if err != nil {
+			fatal(err)
+		}
+		printFig(res.Figure())
+		for i, lt := range res.Lifetimes {
+			fmt.Printf("lifetime %-5v: traffic −%.1f%%, scope ratio %.3f\n",
+				lt, 100*res.Reduction[i], res.ScopeRatio[i])
+		}
+		fmt.Println()
+	}
+
+	if run("twotier") {
+		any = true
+		res, err := ace.TwoTier(sc, 8, *steps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Table().Render())
+	}
+
+	if run("realworld") {
+		any = true
+		res, err := ace.RealWorld(sc, 8, *steps, 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("real-world snapshot consistency (paper: \"consistent results\"):\n")
+		fmt.Printf("  generated overlay: traffic −%.1f%%, response −%.1f%%\n",
+			100*res.GeneratedReduction, 100*res.GeneratedResponse)
+		fmt.Printf("  Gnutella snapshot: traffic −%.1f%%, response −%.1f%%\n\n",
+			100*res.SnapshotReduction, 100*res.SnapshotResponse)
+	}
+
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("done in %s (scale %s)\n", time.Since(start).Round(time.Second), *scale)
+}
+
+func workedExamples(run func(string) bool) error {
+	if run("fig3") {
+		res, err := ace.Figure3()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 3 — Phase 2 on the worked 4-peer example:")
+		fmt.Printf("  flooding neighbors of A: %s; non-flooding: %s\n",
+			strings.Join(res.FloodingSet, ", "), strings.Join(res.NonFlooding, ", "))
+		fmt.Printf("  blind flood from A: traffic %.0f over %d sends (scope %d)\n",
+			res.BlindTraffic, len(res.BlindHops), res.ScopeBlind)
+		fmt.Printf("  tree multicast:     traffic %.0f over %d sends (scope %d)\n\n",
+			res.TreeTraffic, len(res.TreeHops), res.ScopeTree)
+	}
+	if run("table1") || run("table2") {
+		w, err := ace.Walkthrough()
+		if err != nil {
+			return err
+		}
+		if run("table1") {
+			fmt.Println(w.Table1.Render())
+			fmt.Printf("(blind flooding on the same overlay: traffic %.0f, %d duplicates; 1-closure trees: %d duplicates)\n\n",
+				w.Blind.TrafficCost, w.Blind.Duplicates, w.H1.Duplicates)
+		}
+		if run("table2") {
+			fmt.Println(w.Table2.Render())
+			fmt.Printf("(2-closure trees: traffic %.0f, %d duplicates)\n\n", w.H2.TrafficCost, w.H2.Duplicates)
+		}
+	}
+	return nil
+}
+
+func hOrNone(h int) string {
+	if h == 0 {
+		return "none ≤ 8"
+	}
+	return fmt.Sprintf("%d", h)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

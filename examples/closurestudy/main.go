@@ -1,0 +1,60 @@
+// Closure study: the §5.3 engineering question — given how often your
+// network's peers query relative to how often ACE exchanges cost tables
+// (the frequency ratio R), which closure depth h is worth running?
+// Sweeps (C, h), computes the optimization (gain/penalty) rate, and
+// prints the minimal profitable depth per R.
+//
+//	go run ./examples/closurestudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ace"
+)
+
+func main() {
+	sc := ace.BenchScale
+	sc.Peers = 300
+	sc.PhysicalNodes = 1000
+
+	hs := []int{1, 2, 3, 4, 5}
+	fmt.Println("sweeping closure depths 1–5 at average degrees 4 and 10…")
+	dr, err := ace.DepthSweep(sc, []int{4, 10}, hs, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-depth results (traffic reduction vs blind flooding, exchange overhead per cycle):")
+	for _, c := range []int{4, 10} {
+		for _, h := range hs {
+			fmt.Printf("  C=%-2d h=%d: reduction %5.1f%%  overhead %8.0f  scope ratio %.3f\n",
+				c, h, 100*dr.ReductionRate[c][h], dr.OverheadPerCycle[c][h], dr.ScopeRatio[c][h])
+		}
+	}
+
+	fmt.Println("\noptimization rate = R × (traffic saved per query) / (overhead per exchange cycle)")
+	fmt.Println("ACE pays off only when the rate exceeds 1 (§4.2):")
+	fmt.Printf("%-6s", "R")
+	for _, h := range hs {
+		fmt.Printf("  C=10,h=%d", h)
+	}
+	fmt.Println()
+	for _, r := range []float64{0.5, 1.0, 1.5, 2.0, 3.0} {
+		fmt.Printf("%-6.1f", r)
+		for _, h := range hs {
+			fmt.Printf("    %6.2f", dr.Rate(10, h, r))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nminimal profitable depth (0 = not worth running at that R):")
+	for _, c := range []int{4, 10} {
+		for _, r := range []float64{1.0, 1.5, 2.0, 3.0} {
+			fmt.Printf("  C=%-2d R=%.1f → h_min = %d\n", c, r, dr.MinimalDepth(c, r))
+		}
+	}
+	fmt.Println("\nthe paper's guidance holds: R = 1 is never profitable, larger R lowers")
+	fmt.Println("the required depth, and denser overlays (larger C) profit at shallower h.")
+}

@@ -1,0 +1,80 @@
+package ace_test
+
+import (
+	"testing"
+	"time"
+
+	"ace"
+)
+
+// microScale keeps the facade wiring test to a couple of seconds while
+// touching every public experiment driver.
+var microScale = ace.Scale{
+	PhysicalNodes:      400,
+	Peers:              120,
+	Seeds:              []int64{1},
+	QueriesPerPoint:    8,
+	TTL:                1 << 20,
+	RespondersPerQuery: 2,
+}
+
+func TestFacadeWiring(t *testing.T) {
+	conv, err := ace.StaticConvergence(microScale, []int{6}, 3, 1, ace.PolicyRandom)
+	if err != nil || conv.Reduction(6) <= 0 {
+		t.Fatalf("StaticConvergence: %v / %+v", err, conv)
+	}
+	dr, err := ace.DepthSweep(microScale, []int{6}, []int{1, 2}, 3)
+	if err != nil || dr.ReductionRate[6][1] <= 0 {
+		t.Fatalf("DepthSweep: %v", err)
+	}
+	spec := ace.DefaultDynamicSpec(6, true)
+	spec.Duration = 3 * time.Minute
+	spec.Window = 20
+	if _, _, base, aced, err := ace.DynamicFigures(microScale, spec); err != nil || base.Queries == 0 || aced.Queries == 0 {
+		t.Fatalf("DynamicFigures: %v", err)
+	}
+	if res, err := ace.CacheCombo(microScale, 6, 1, 10, 30, 120, 0.9); err != nil || res.CacheHitRate <= 0 {
+		t.Fatalf("CacheCombo: %v", err)
+	}
+	if fig, tbl, err := ace.PolicyAblation(microScale, 6, 2, 1); err != nil || len(fig.Curves) != 3 || tbl == nil {
+		t.Fatalf("PolicyAblation: %v", err)
+	}
+	if res, err := ace.Figure3(); err != nil || res.TreeTraffic >= res.BlindTraffic {
+		t.Fatalf("Figure3: %v", err)
+	}
+	if res, err := ace.RealWorld(microScale, 6, 3, 1); err != nil || res.SnapshotReduction <= 0 {
+		t.Fatalf("RealWorld: %v", err)
+	}
+	if res, err := ace.Baselines(microScale, 6, 3); err != nil || len(res.Traffic) != 3 {
+		t.Fatalf("Baselines: %v", err)
+	}
+	if res, err := ace.Walks(microScale, 6, 3, 4, 64); err != nil || res.BeforeTraffic <= 0 {
+		t.Fatalf("Walks: %v", err)
+	}
+	if res, err := ace.Robustness(microScale, 6, 3); err != nil || res.TransitStubReduction <= 0 {
+		t.Fatalf("Robustness: %v", err)
+	}
+	if res, err := ace.TwoTier(microScale, 6, 3); err != nil || res.Traffic["random"]["ace"] <= 0 {
+		t.Fatalf("TwoTier: %v", err)
+	}
+	if res, err := ace.ChurnSweep(microScale, 6, []time.Duration{5 * time.Minute}, 4*time.Minute); err != nil || len(res.Reduction) != 1 {
+		t.Fatalf("ChurnSweep: %v", err)
+	}
+	if cfg := ace.DefaultConfig(2); cfg.Depth != 2 {
+		t.Fatalf("DefaultConfig: %+v", cfg)
+	}
+}
+
+func TestFacadeForwarders(t *testing.T) {
+	sys, err := ace.NewSystem(ace.WithSeed(3), ace.WithSize(400, 120), ace.WithAvgDegree(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Optimize(2)
+	if sys.Forwarder() == nil || sys.BlindForwarder() == nil {
+		t.Fatal("forwarder accessors returned nil")
+	}
+	if sys.Env() == nil || sys.Env().Net != sys.Network() {
+		t.Fatal("Env accessor inconsistent")
+	}
+}

@@ -1,0 +1,124 @@
+package ace
+
+import (
+	"time"
+
+	"ace/internal/experiments"
+	"ace/internal/report"
+)
+
+// Figure and Table are the rendered experiment artifacts.
+type (
+	// Figure is labelled curve data with RenderSeries / Chart output.
+	Figure = report.Figure
+	// Table is a rendered table.
+	Table = report.Table
+	// ConvergenceResult backs Figures 7–8.
+	ConvergenceResult = experiments.ConvergenceResult
+	// DepthResult backs Figures 11–16.
+	DepthResult = experiments.DepthResult
+	// DynamicSpec parameterizes the churn runs of Figures 9–10.
+	DynamicSpec = experiments.DynamicSpec
+	// DynamicResult is one churn run's windowed metrics.
+	DynamicResult = experiments.DynamicResult
+	// CacheComboResult is the §5.2 ACE+index-cache experiment.
+	CacheComboResult = experiments.CacheComboResult
+	// WalkthroughResult reproduces Tables 1–2.
+	WalkthroughResult = experiments.WalkthroughResult
+	// Fig3Result reproduces the Figure-3 Phase-2 demonstration.
+	Fig3Result = experiments.Fig3Result
+	// RealWorldResult is the real-world-trace consistency check.
+	RealWorldResult = experiments.RealWorldResult
+	// BaselinesResult compares ACE with AOTO and LTM (§2).
+	BaselinesResult = experiments.BaselinesResult
+	// WalkComparison is the random-walk mismatch demonstration.
+	WalkComparison = experiments.WalkComparison
+	// RobustnessResult compares substrate generators.
+	RobustnessResult = experiments.RobustnessResult
+	// TwoTierResult is the KaZaA-style supernode-tier experiment.
+	TwoTierResult = experiments.TwoTierResult
+	// ChurnSweepResult is the churn-intensity sensitivity sweep.
+	ChurnSweepResult = experiments.ChurnSweepResult
+	// AblationResult quantifies the DESIGN.md §5 reconstruction choices.
+	AblationResult = experiments.AblationResult
+)
+
+// StaticConvergence regenerates Figures 7 and 8: per-step traffic cost
+// and response time for the given average degrees.
+func StaticConvergence(sc Scale, cs []int, steps, h int, policy Policy) (*ConvergenceResult, error) {
+	return experiments.StaticConvergence(sc, cs, steps, h, policy)
+}
+
+// DepthSweep collects the (C, h) data behind Figures 11–16.
+func DepthSweep(sc Scale, cs, hs []int, steps int) (*DepthResult, error) {
+	return experiments.DepthSweep(sc, cs, hs, steps)
+}
+
+// DefaultDynamicSpec mirrors the paper's §4.3 dynamic environment.
+func DefaultDynamicSpec(c int, withACE bool) DynamicSpec {
+	return experiments.DefaultDynamicSpec(c, withACE)
+}
+
+// DynamicFigures regenerates Figures 9 and 10: traffic cost and response
+// time per query under churn, Gnutella baseline vs ACE.
+func DynamicFigures(sc Scale, spec DynamicSpec) (fig9, fig10 Figure, base, aced *DynamicResult, err error) {
+	return experiments.DynamicFigures(sc, spec)
+}
+
+// CacheCombo regenerates the §5.2 ACE+index-cache experiment.
+func CacheCombo(sc Scale, c, h, cacheSize, keywords, nQueries int, zipfS float64) (*CacheComboResult, error) {
+	return experiments.CacheCombo(sc, c, h, cacheSize, keywords, nQueries, zipfS)
+}
+
+// PolicyAblation compares the §6 replacement policies.
+func PolicyAblation(sc Scale, c, steps, h int) (Figure, *Table, error) {
+	return experiments.PolicyAblation(sc, c, steps, h)
+}
+
+// Walkthrough regenerates the Table 1 / Table 2 worked example.
+func Walkthrough() (*WalkthroughResult, error) { return experiments.Walkthrough() }
+
+// Figure3 regenerates the Phase-2 worked example of Figure 3.
+func Figure3() (*Fig3Result, error) { return experiments.Figure3() }
+
+// RealWorld runs the real-world-snapshot consistency check.
+func RealWorld(sc Scale, c, steps, h int) (*RealWorldResult, error) {
+	return experiments.RealWorld(sc, c, steps, h)
+}
+
+// Baselines compares ACE with the related schemes of §2 — AOTO (the
+// preliminary design) and LTM (the detector-based alternative) — on
+// identical topologies.
+func Baselines(sc Scale, c, steps int) (*BaselinesResult, error) {
+	return experiments.Baselines(sc, c, steps)
+}
+
+// Walks runs the k-walker random-walk baseline before and after ACE,
+// demonstrating that topology mismatch limits heuristic routing too.
+func Walks(sc Scale, c, steps, walkers, maxHops int) (*WalkComparison, error) {
+	return experiments.Walks(sc, c, steps, walkers, maxHops)
+}
+
+// Robustness reruns the convergence experiment on a transit-stub
+// substrate to show the gains are generator-independent.
+func Robustness(sc Scale, c, steps int) (*RobustnessResult, error) {
+	return experiments.Robustness(sc, c, steps)
+}
+
+// TwoTier measures the KaZaA-style two-tier overlay of the paper's
+// introduction: leaf assignment {random, nearest} × supernode routing
+// {blind, ACE}.
+func TwoTier(sc Scale, c, steps int) (*TwoTierResult, error) {
+	return experiments.TwoTier(sc, c, steps)
+}
+
+// ChurnSweep measures ACE's dynamic gain across churn intensities.
+func ChurnSweep(sc Scale, c int, lifetimes []time.Duration, duration time.Duration) (*ChurnSweepResult, error) {
+	return experiments.ChurnSweep(sc, c, lifetimes, duration)
+}
+
+// Ablation turns the reconstruction's load-bearing design choices off
+// one at a time (DESIGN.md §5) and measures what each costs.
+func Ablation(sc Scale, c, steps int) (*AblationResult, error) {
+	return experiments.Ablation(sc, c, steps)
+}

@@ -1,0 +1,104 @@
+// Package cache implements the response index caching scheme the paper
+// combines with ACE in §5.2 ("using a k-item size cache at each peer, ACE
+// with index cache will reduce 75% of the traffic cost and 70% of the
+// response time"): each peer keeps a small LRU index mapping a query
+// keyword to a peer known to hold the object, learned from QueryHits
+// passing through on the inverse path. A peer holding a fresh index entry
+// answers the query and stops forwarding it, cutting both traffic and
+// response time.
+package cache
+
+import (
+	"container/list"
+
+	"ace/internal/overlay"
+)
+
+// Index is one peer's LRU response index.
+type Index struct {
+	cap     int
+	entries map[int]*list.Element
+	lru     *list.List // front = most recent
+}
+
+type entry struct {
+	keyword   int
+	responder overlay.PeerID
+}
+
+// NewIndex creates an index bounded to capacity items (minimum 1).
+func NewIndex(capacity int) *Index {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Index{cap: capacity, entries: make(map[int]*list.Element), lru: list.New()}
+}
+
+// Len reports the number of cached entries.
+func (ix *Index) Len() int { return ix.lru.Len() }
+
+// Put records that responder holds keyword, evicting the least recently
+// used entry when full.
+func (ix *Index) Put(keyword int, responder overlay.PeerID) {
+	if el, ok := ix.entries[keyword]; ok {
+		el.Value = entry{keyword, responder}
+		ix.lru.MoveToFront(el)
+		return
+	}
+	if ix.lru.Len() >= ix.cap {
+		oldest := ix.lru.Back()
+		ix.lru.Remove(oldest)
+		delete(ix.entries, oldest.Value.(entry).keyword)
+	}
+	ix.entries[keyword] = ix.lru.PushFront(entry{keyword, responder})
+}
+
+// Get returns the cached responder for keyword and refreshes its
+// recency.
+func (ix *Index) Get(keyword int) (overlay.PeerID, bool) {
+	el, ok := ix.entries[keyword]
+	if !ok {
+		return 0, false
+	}
+	ix.lru.MoveToFront(el)
+	return el.Value.(entry).responder, true
+}
+
+// Invalidate drops the entry for keyword, if any.
+func (ix *Index) Invalidate(keyword int) {
+	if el, ok := ix.entries[keyword]; ok {
+		ix.lru.Remove(el)
+		delete(ix.entries, keyword)
+	}
+}
+
+// Store holds the per-peer indexes of a simulation.
+type Store struct {
+	capacity int
+	per      map[overlay.PeerID]*Index
+}
+
+// NewStore creates a store issuing per-peer indexes of the given
+// capacity.
+func NewStore(capacity int) *Store {
+	return &Store{capacity: capacity, per: make(map[overlay.PeerID]*Index)}
+}
+
+// Of returns p's index, creating it on first use.
+func (s *Store) Of(p overlay.PeerID) *Index {
+	ix, ok := s.per[p]
+	if !ok {
+		ix = NewIndex(s.capacity)
+		s.per[p] = ix
+	}
+	return ix
+}
+
+// Peek returns p's index without creating one.
+func (s *Store) Peek(p overlay.PeerID) *Index { return s.per[p] }
+
+// Drop discards p's index — a leaving peer's cache dies with it.
+func (s *Store) Drop(p overlay.PeerID) { delete(s.per, p) }
+
+// Size reports the number of peers with an index.
+func (s *Store) Size() int { return len(s.per) }

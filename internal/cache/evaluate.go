@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"ace/internal/core"
+	"ace/internal/gnutella"
+	"ace/internal/overlay"
+)
+
+// Result extends the per-query metrics with cache activity.
+type Result struct {
+	gnutella.QueryResult
+	// CacheHits counts peers that answered from their index (and
+	// therefore stopped forwarding).
+	CacheHits int
+	// StaleHits counts index entries that pointed at a dead peer and
+	// were invalidated on access.
+	StaleHits int
+}
+
+type hop struct {
+	at      time.Duration
+	seq     uint64
+	to      overlay.PeerID
+	from    overlay.PeerID
+	serving overlay.PeerID
+	adj     core.TreeAdj
+	covered *core.CoveredSet
+	ttl     int
+}
+
+type hopHeap []hop
+
+func (h hopHeap) Len() int { return len(h) }
+func (h hopHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h hopHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *hopHeap) Push(x any)   { *h = append(*h, x.(hop)) }
+func (h *hopHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+const msPerDur = float64(time.Millisecond)
+
+// Evaluate propagates one query as gnutella.Evaluate does, with the index
+// caching scheme layered on: a relay whose index holds a live entry for
+// the keyword answers immediately and does not forward; actual holders
+// answer and keep forwarding (standard Gnutella). After the flood, every
+// peer on the inverse path of the earliest answer learns the responder —
+// the QueryHit filling caches as it travels home.
+func Evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl, keyword int, holds func(overlay.PeerID, int) bool, store *Store) Result {
+	res := Result{QueryResult: gnutella.QueryResult{
+		Arrival:       map[overlay.PeerID]float64{src: 0},
+		FirstResponse: math.Inf(1),
+	}}
+	if !net.Alive(src) {
+		res.Arrival = nil
+		return res
+	}
+	res.Scope = 1
+
+	// answerer is the peer whose answer arrives home first; target is
+	// the object holder it names (itself, or its index entry).
+	var answerer, target overlay.PeerID = -1, -1
+	back := map[overlay.PeerID]overlay.PeerID{}
+	// returnTime walks the inverse query path back to the source.
+	returnTime := func(p overlay.PeerID) float64 {
+		total := 0.0
+		for p != src {
+			prev, ok := back[p]
+			if !ok {
+				return math.Inf(1)
+			}
+			total += net.Cost(p, prev)
+			p = prev
+		}
+		return total
+	}
+	answer := func(p overlay.PeerID, atMS float64, holder overlay.PeerID) {
+		if rt := atMS + returnTime(p); rt < res.FirstResponse {
+			res.FirstResponse = rt
+			answerer, target = p, holder
+		}
+	}
+
+	if holds(src, keyword) {
+		answer(src, 0, src)
+	} else if r, ok := store.Of(src).Get(keyword); ok {
+		if net.Alive(r) {
+			res.CacheHits++
+			answer(src, 0, r)
+		} else {
+			store.Of(src).Invalidate(keyword)
+			res.StaleHits++
+		}
+	}
+
+	var q hopHeap
+	var seq uint64
+	served := map[uint64]bool{}
+	key := func(p, tree overlay.PeerID) uint64 {
+		return uint64(uint32(p))<<32 | uint64(uint32(tree))
+	}
+	send := func(at time.Duration, from overlay.PeerID, s core.Send, ttl int) {
+		c := net.Cost(from, s.To)
+		res.TrafficCost += c
+		res.Transmissions++
+		heap.Push(&q, hop{at: at + time.Duration(c*msPerDur), seq: seq, to: s.To, from: from, serving: s.Tree, adj: s.Adj, covered: s.Covered, ttl: ttl})
+		seq++
+	}
+	emit := func(at time.Duration, p overlay.PeerID, sends []core.Send, ttl int) {
+		for _, s := range sends {
+			if s.Tree != core.NoTree && served[key(p, s.Tree)] {
+				continue
+			}
+			send(at, p, s, ttl)
+		}
+		for _, s := range sends {
+			if s.Tree != core.NoTree {
+				served[key(p, s.Tree)] = true
+			}
+		}
+	}
+	if ttl > 0 {
+		emit(0, src, fwd.Forward(src, src, -1, core.NoTree, nil, nil, true), ttl-1)
+	}
+	for len(q) > 0 {
+		m := heap.Pop(&q).(hop)
+		first := false
+		atMS := float64(m.at) / msPerDur
+		if _, seen := res.Arrival[m.to]; seen {
+			res.Duplicates++
+		} else {
+			first = true
+			res.Arrival[m.to] = atMS
+			back[m.to] = m.from
+			res.Scope++
+		}
+
+		forward := true
+		if first {
+			switch {
+			case holds(m.to, keyword):
+				answer(m.to, atMS, m.to)
+			default:
+				if r, ok := store.Of(m.to).Get(keyword); ok {
+					if net.Alive(r) {
+						res.CacheHits++
+						answer(m.to, atMS, r)
+						forward = false // index answer terminates this branch
+					} else {
+						store.Of(m.to).Invalidate(keyword)
+						res.StaleHits++
+					}
+				}
+			}
+		}
+		if !forward || m.ttl <= 0 {
+			continue
+		}
+		emit(m.at, m.to, fwd.Forward(src, m.to, m.from, m.serving, m.adj, m.covered, first), m.ttl-1)
+	}
+
+	// The winning QueryHit travels the inverse path home, populating the
+	// index of every peer it passes (including the source).
+	if answerer >= 0 && target >= 0 {
+		for p := answerer; ; {
+			if p != target {
+				store.Of(p).Put(keyword, target)
+			}
+			prev, ok := back[p]
+			if !ok || p == src {
+				break
+			}
+			p = prev
+		}
+	}
+	return res
+}

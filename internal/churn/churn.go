@@ -1,0 +1,197 @@
+// Package churn models the dynamic peer-to-peer environment of §4.3:
+// peers join with a lifetime drawn from the measured distribution
+// (mean 10 minutes, deviation half the mean, per the Saroiu and Sen/Wang
+// measurements the paper cites), leave when it expires, and are replaced
+// by a random dead peer slot so the population stays constant. Each live
+// peer issues queries as a Poisson process (0.3 queries/minute, from the
+// Sripanidkulchai trace the paper cites).
+package churn
+
+import (
+	"fmt"
+	"time"
+
+	"ace/internal/overlay"
+	"ace/internal/sim"
+)
+
+// Model holds the dynamic-environment parameters.
+type Model struct {
+	// MeanLifetime is the average peer session length (paper: 10 min).
+	MeanLifetime time.Duration
+	// StdDevLifetime is the lifetime deviation (paper: half the mean).
+	StdDevLifetime time.Duration
+	// MinLifetime floors the truncated-normal draw.
+	MinLifetime time.Duration
+	// QueriesPerMinute is each live peer's Poisson query rate
+	// (paper: 0.3).
+	QueriesPerMinute float64
+	// JoinDegree is how many connections a churning-in peer establishes
+	// (set to the topology's average degree C to keep density stable).
+	JoinDegree int
+}
+
+// DefaultModel returns the paper's §4.3 parameters for a topology with
+// average degree c.
+func DefaultModel(c int) Model {
+	return Model{
+		MeanLifetime:     10 * time.Minute,
+		StdDevLifetime:   5 * time.Minute,
+		MinLifetime:      30 * time.Second,
+		QueriesPerMinute: 0.3,
+		JoinDegree:       c,
+	}
+}
+
+func (m Model) validate() error {
+	if m.MeanLifetime <= 0 || m.StdDevLifetime < 0 || m.MinLifetime < 0 {
+		return fmt.Errorf("churn: non-positive lifetime parameters")
+	}
+	if m.QueriesPerMinute < 0 {
+		return fmt.Errorf("churn: negative query rate")
+	}
+	if m.JoinDegree < 1 {
+		return fmt.Errorf("churn: join degree %d, need >= 1", m.JoinDegree)
+	}
+	return nil
+}
+
+// Driver schedules join/leave/query events for a network on a simulation
+// engine. The network's peer slots beyond the initially-alive population
+// form the pool of replacement peers.
+type Driver struct {
+	eng   *sim.Engine
+	net   *overlay.Network
+	model Model
+	rng   *sim.RNG
+
+	// OnQuery fires when a live peer issues a query.
+	OnQuery func(src overlay.PeerID)
+	// OnJoin and OnLeave observe membership changes (may be nil).
+	OnJoin, OnLeave func(p overlay.PeerID)
+
+	queryTimers map[overlay.PeerID]sim.Timer
+	leaveTimers map[overlay.PeerID]sim.Timer
+	joins       int
+	leaves      int
+	queries     int
+}
+
+// NewDriver validates the model and builds a driver. Call Start to
+// schedule the processes for the currently-alive population.
+func NewDriver(eng *sim.Engine, net *overlay.Network, model Model, rng *sim.RNG) (*Driver, error) {
+	if err := model.validate(); err != nil {
+		return nil, err
+	}
+	return &Driver{
+		eng: eng, net: net, model: model, rng: rng,
+		queryTimers: make(map[overlay.PeerID]sim.Timer),
+		leaveTimers: make(map[overlay.PeerID]sim.Timer),
+	}, nil
+}
+
+// Start assigns lifetimes and query processes to every currently-alive
+// peer. It must be called once, before the engine runs.
+func (d *Driver) Start() {
+	for _, p := range d.net.AlivePeers() {
+		d.scheduleLifetime(p)
+		d.scheduleNextQuery(p)
+	}
+}
+
+// Counts reports how many joins, leaves and queries have fired.
+func (d *Driver) Counts() (joins, leaves, queries int) {
+	return d.joins, d.leaves, d.queries
+}
+
+func (d *Driver) lifetime() time.Duration {
+	return d.rng.TruncNormal(d.model.MeanLifetime, d.model.StdDevLifetime, d.model.MinLifetime)
+}
+
+func (d *Driver) scheduleLifetime(p overlay.PeerID) {
+	d.leaveTimers[p] = d.eng.After(d.lifetime(), func() { d.leave(p) })
+}
+
+func (d *Driver) scheduleNextQuery(p overlay.PeerID) {
+	if d.model.QueriesPerMinute <= 0 {
+		return
+	}
+	gap := d.rng.Exp(time.Duration(float64(time.Minute) / d.model.QueriesPerMinute))
+	d.queryTimers[p] = d.eng.After(gap, func() {
+		if !d.net.Alive(p) {
+			return
+		}
+		d.queries++
+		if d.OnQuery != nil {
+			d.OnQuery(p)
+		}
+		d.scheduleNextQuery(p)
+	})
+}
+
+// leave removes p and immediately turns on a random dead slot, keeping
+// the population size constant as in §4.3.
+func (d *Driver) leave(p overlay.PeerID) {
+	if !d.net.Alive(p) {
+		return
+	}
+	if t, ok := d.queryTimers[p]; ok {
+		t.Cancel()
+		delete(d.queryTimers, p)
+	}
+	delete(d.leaveTimers, p)
+	d.net.Leave(p)
+	d.leaves++
+	if d.OnLeave != nil {
+		d.OnLeave(p)
+	}
+	d.joinReplacement()
+}
+
+// joinReplacement picks a uniformly random dead slot and joins it.
+func (d *Driver) joinReplacement() {
+	dead := make([]overlay.PeerID, 0, d.net.N()-d.net.NumAlive())
+	for p := 0; p < d.net.N(); p++ {
+		if !d.net.Alive(overlay.PeerID(p)) {
+			dead = append(dead, overlay.PeerID(p))
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	p := dead[d.rng.Intn(len(dead))]
+	d.net.Join(d.rng, p, d.model.JoinDegree)
+	d.joins++
+	if d.OnJoin != nil {
+		d.OnJoin(p)
+	}
+	d.scheduleLifetime(p)
+	d.scheduleNextQuery(p)
+}
+
+// BuildPopulation joins `alive` of the network's slots sequentially with
+// alternating degree targets so the initial overlay is connected with
+// average degree ≈ c, mirroring bootstrap-chain construction. The
+// remaining slots stay dead as the churn replacement pool.
+func BuildPopulation(rng *sim.RNG, net *overlay.Network, alive, c int) error {
+	if alive < 2 || alive > net.N() {
+		return fmt.Errorf("churn: population %d infeasible for %d slots", alive, net.N())
+	}
+	if c < 2 {
+		return fmt.Errorf("churn: average degree %d, need >= 2", c)
+	}
+	slots := rng.Perm(net.N())
+	for i := 0; i < alive; i++ {
+		// Each join contributes c/2 edges on average: alternate between
+		// floor and ceil so odd c still averages out.
+		target := c / 2
+		if c%2 == 1 && i%2 == 1 {
+			target = c/2 + 1
+		}
+		if target > i {
+			target = i
+		}
+		net.Join(rng, overlay.PeerID(slots[i]), target)
+	}
+	return nil
+}

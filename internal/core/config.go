@@ -1,0 +1,144 @@
+// Package core implements ACE — Adaptive Connection Establishment — the
+// contribution of the reproduced paper (ICDCS 2004, §3):
+//
+//   - Phase 1: peers probe delays to their logical neighbors and exchange
+//     neighbor cost tables, giving each peer the overlay subgraph within
+//     its h-neighbor closure.
+//   - Phase 2: each peer builds a minimum spanning tree (Prim) over that
+//     subgraph; neighbors adjacent on the tree become flooding neighbors,
+//     the rest non-flooding neighbors that keep their connection (so the
+//     search scope is retained) but receive no queries.
+//   - Phase 3: each peer tries to replace far non-flooding neighbors with
+//     physically closer peers drawn from those neighbors' own neighbor
+//     lists, following the Figure-4 rules.
+//
+// The packet-level consequences (what a query actually costs) live in
+// package gnutella; this package owns the per-peer ACE state machine.
+package core
+
+import (
+	"fmt"
+)
+
+// Policy selects how Phase 3 picks the candidate that may replace a
+// non-flooding neighbor. The paper's experiments use PolicyRandom; §6
+// sketches the naive and closest alternatives, implemented here as the
+// ablation the conclusion calls for.
+type Policy int
+
+const (
+	// PolicyRandom probes one random neighbor of one random non-flooding
+	// neighbor per step (the paper's default).
+	PolicyRandom Policy = iota + 1
+	// PolicyNaive targets the most expensive non-flooding neighbor and
+	// replaces it with the best of a few randomly probed candidates.
+	PolicyNaive
+	// PolicyClosest probes every neighbor of every non-flooding neighbor
+	// and applies the Figure-4 rules to the closest candidate found.
+	PolicyClosest
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyRandom:
+		return "random"
+	case PolicyNaive:
+		return "naive"
+	case PolicyClosest:
+		return "closest"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes an Optimizer.
+type Config struct {
+	// Depth is the h of the h-neighbor closure (§3.4). 1 reproduces the
+	// base ACE; larger values trade exchange overhead for optimization
+	// quality (Figures 11–16).
+	Depth int
+	// Policy is the Phase-3 replacement policy.
+	Policy Policy
+	// NaiveProbes bounds how many candidates PolicyNaive measures per
+	// step (ignored by the other policies).
+	NaiveProbes int
+	// ExchangeHeaderCost is the fixed traffic cost of one cost-table
+	// exchange message per unit of physical delay, relative to a query
+	// message costing 1 per delay unit. One exchange message flows on
+	// every logical link each cycle regardless of depth.
+	ExchangeHeaderCost float64
+	// TableEntryCost is the additional traffic cost of each cost-table
+	// entry carried in an exchange message, per unit of physical delay.
+	// Entries grow with the closure, so this term makes the overhead
+	// climb with h (Figure 12) while the header term keeps shallow
+	// depths from being free. See EXPERIMENTS.md for the calibration.
+	TableEntryCost float64
+	// ProbeCost is the traffic cost of one delay-probe round trip per
+	// unit of physical delay.
+	ProbeCost float64
+	// MinDegree is the connection floor every client maintains (real
+	// Gnutella clients keep a minimum number of connections open); a
+	// peer below it opens fresh bootstrap connections each round, which
+	// is what re-knits pairs severed by Phase-3 rewiring.
+	MinDegree int
+
+	// SparseKnowledge is an ABLATION switch: build Phase-2 trees over
+	// only the overlay subgraph inside the closure instead of the
+	// complete pairwise cost graph (DESIGN.md §5.1 argues the paper's
+	// "cost between any pair" + O(m²) Prim imply the dense reading; this
+	// switch quantifies what the sparse reading loses).
+	SparseKnowledge bool
+	// NoLaunchElection is an ABLATION switch: launched trees keep every
+	// uncovered member instead of only those the launcher wins the
+	// closest-covered-peer election for (DESIGN.md §5.3); without the
+	// election, sibling launches re-flood each other's regions.
+	NoLaunchElection bool
+}
+
+// DefaultConfig returns the paper-faithful configuration: depth h,
+// random replacement, and the overhead calibration documented in
+// EXPERIMENTS.md.
+func DefaultConfig(h int) Config {
+	return Config{
+		Depth:              h,
+		Policy:             PolicyRandom,
+		NaiveProbes:        3,
+		ExchangeHeaderCost: 0.8,
+		TableEntryCost:     4e-6,
+		ProbeCost:          0.4,
+		MinDegree:          2,
+	}
+}
+
+// AOTOConfig returns the configuration of AOTO (reference [8], the
+// GLOBECOM 2003 preliminary design of ACE): 1-neighbor closures and the
+// aggressive "replace the most expensive non-flooding neighbor with the
+// closest of its neighbors" rule — PolicyNaive probing every candidate.
+func AOTOConfig() Config {
+	cfg := DefaultConfig(1)
+	cfg.Policy = PolicyNaive
+	cfg.NaiveProbes = 1 << 30
+	return cfg
+}
+
+func (c Config) validate() error {
+	if c.Depth < 1 {
+		return fmt.Errorf("core: closure depth %d, need >= 1", c.Depth)
+	}
+	switch c.Policy {
+	case PolicyRandom, PolicyNaive, PolicyClosest:
+	default:
+		return fmt.Errorf("core: unknown policy %d", int(c.Policy))
+	}
+	if c.NaiveProbes < 1 && c.Policy == PolicyNaive {
+		return fmt.Errorf("core: naive policy needs NaiveProbes >= 1")
+	}
+	if c.TableEntryCost < 0 || c.ProbeCost < 0 || c.ExchangeHeaderCost < 0 {
+		return fmt.Errorf("core: negative overhead calibration")
+	}
+	if c.MinDegree < 0 {
+		return fmt.Errorf("core: negative MinDegree")
+	}
+	return nil
+}

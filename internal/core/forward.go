@@ -1,0 +1,292 @@
+package core
+
+import "ace/internal/overlay"
+
+// TreeAdj is the adjacency of one multicast tree, as carried by the
+// query messages serving it. Launched trees are pruned to the branches
+// that reach peers earlier trees did not already cover, so the map may
+// describe a subtree of the owner's full tree.
+type TreeAdj map[overlay.PeerID][]overlay.PeerID
+
+// CoveredSet is the accumulated set of peers covered by the chain of
+// multicast trees a query message descends from. Launchers use it to
+// prune their trees. It is an immutable chain — each launch links a new
+// node holding only its own tree's members — so extending it is O(1)
+// and costs no copying even on launch-heavy floods (membership checks
+// walk the chain, whose depth is the launch generation count).
+type CoveredSet struct {
+	parent  *CoveredSet
+	members map[overlay.PeerID]bool
+}
+
+// Has reports whether p is covered anywhere along the chain.
+func (c *CoveredSet) Has(p overlay.PeerID) bool {
+	for cc := c; cc != nil; cc = cc.parent {
+		if cc.members[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty reports whether the chain covers nothing.
+func (c *CoveredSet) Empty() bool {
+	for cc := c; cc != nil; cc = cc.parent {
+		if len(cc.members) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// extend returns a new chain node adding members on top of c.
+func (c *CoveredSet) extend(members map[overlay.PeerID]bool) *CoveredSet {
+	return &CoveredSet{parent: c, members: members}
+}
+
+// Send is one query transmission: the target peer, the multicast tree
+// the message is serving (the tree owner's id, or NoTree for blind
+// flooding), that tree's adjacency and the chain's covered set. The
+// receiver uses them to continue the same tree and to prune any launch
+// of its own.
+type Send struct {
+	To      overlay.PeerID
+	Tree    overlay.PeerID
+	Adj     TreeAdj
+	Covered *CoveredSet
+}
+
+// NoTree tags transmissions that serve no multicast tree.
+const NoTree overlay.PeerID = -1
+
+// Forwarder decides where a peer relays a query. It is the seam between
+// the routing strategy (blind flooding vs ACE trees) and the query
+// engines in package gnutella.
+//
+// The engines enforce two layers of duplicate suppression: a peer's
+// non-forwarding bookkeeping (scope, responses) happens only on its
+// first copy of a query, and each tree tag is continued at most once per
+// peer (the engines drop repeat-tag sends), so tree multicasts complete
+// without reflection storms.
+type Forwarder interface {
+	// Forward returns the transmissions p makes for a received copy of
+	// a query originated at src, arriving from neighbor `from` (-1 when
+	// p originates it) as part of tree `serving` with adjacency
+	// `servingAdj` and chain coverage `covered` (NoTree/nil for blind
+	// copies). first reports whether this is p's first copy of the
+	// query. Implementations never target `from`.
+	Forward(src, p, from, serving overlay.PeerID, servingAdj TreeAdj, covered *CoveredSet, first bool) []Send
+}
+
+// BlindFlooding forwards to every neighbor except the arrival link — the
+// Gnutella baseline of §3.1.
+type BlindFlooding struct {
+	Net *overlay.Network
+}
+
+var _ Forwarder = BlindFlooding{}
+
+// Forward implements Forwarder: blind flooding relays only the first
+// copy, to every neighbor but the sender.
+func (b BlindFlooding) Forward(_, p, from, _ overlay.PeerID, _ TreeAdj, _ *CoveredSet, first bool) []Send {
+	if !first {
+		return nil
+	}
+	nbrs := b.Net.Neighbors(p)
+	out := make([]Send, 0, len(nbrs))
+	for _, q := range nbrs {
+		if q != from {
+			out = append(out, Send{To: q, Tree: NoTree})
+		}
+	}
+	return out
+}
+
+// TreeForwarding routes queries along ACE multicast trees (§3.3–3.4).
+// The source multicasts over its own tree, which spans its h-neighbor
+// closure (Figures 5/6); every member relays the tree onward. A member
+// whose surroundings the chain has not covered extends the search by
+// launching its own tree, pruned to the branches that reach uncovered
+// peers: uncovered direct neighbors are always kept (which is what
+// retains the paper's search scope — every reached peer guarantees its
+// neighbors are reached), and a farther uncovered member is kept only if
+// the launcher is the closest already-covered peer it knows to that
+// member, so adjacent launchers do not re-flood each other's regions.
+//
+// Tree links are forwarding connections, not necessarily overlay
+// connections — a peer can always send to an IP it learned from a cost
+// table (Figure 3(b) draws exactly such a link).
+//
+// Peers without built state (joined since the last exchange) fall back
+// to blind flooding, as a real client would before learning any tables.
+type TreeForwarding struct {
+	Opt *Optimizer
+}
+
+var _ Forwarder = TreeForwarding{}
+
+// Forward implements Forwarder.
+func (t TreeForwarding) Forward(src, p, from, serving overlay.PeerID, servingAdj TreeAdj, covered *CoveredSet, first bool) []Send {
+	own := t.Opt.State(p)
+	if own == nil {
+		return BlindFlooding{Net: t.Opt.Network()}.Forward(src, p, from, serving, servingAdj, covered, first)
+	}
+	var out []Send
+	add := func(adj TreeAdj, tree overlay.PeerID, cs *CoveredSet, excludeFrom bool) {
+		// A target may receive two tags from the same relay when it
+		// sits on both trees; dropping either would orphan that tree's
+		// subtree. Targets that left since the last exchange are
+		// spliced around: the relay holds the full tree, so it forwards
+		// directly to the dead member's tree children instead.
+		seen := map[overlay.PeerID]bool{p: true}
+		queue := append([]overlay.PeerID(nil), adj[p]...)
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			if seen[q] {
+				continue
+			}
+			seen[q] = true
+			if excludeFrom && q == from {
+				continue
+			}
+			if t.Opt.Network().Alive(q) {
+				out = append(out, Send{To: q, Tree: tree, Adj: adj, Covered: cs})
+			} else {
+				queue = append(queue, adj[q]...)
+			}
+		}
+	}
+
+	if serving != NoTree && serving != p {
+		// Continue the tree this message serves. The sender already
+		// carries this tag, so it is excluded.
+		add(servingAdj, serving, covered, true)
+	}
+	if first {
+		// A launch is a fresh multicast: it may legitimately flow back
+		// through the sender, which has not seen this tag and may be
+		// the only path to an uncovered branch.
+		if pruned, cs := t.pruneLaunch(own, p, covered); pruned != nil {
+			add(pruned, p, cs, false)
+		}
+	}
+	return out
+}
+
+// pruneLaunch cuts p's own tree down to the branches that reach peers
+// the chain has not covered, applying the neighbor guarantee and the
+// closest-covered-peer election, and returns the pruned adjacency plus
+// the extended covered set (nil tree when the launch would add nothing).
+func (t TreeForwarding) pruneLaunch(st *PeerState, p overlay.PeerID, covered *CoveredSet) (TreeAdj, *CoveredSet) {
+	net := t.Opt.Network()
+	var keepTargets map[overlay.PeerID]bool
+	if covered.Empty() {
+		// Nothing covered yet (p originates the query): flood the whole
+		// tree.
+		keepTargets = make(map[overlay.PeerID]bool, len(st.Closure))
+		for _, x := range st.Closure {
+			keepTargets[x] = true
+		}
+	} else {
+		neighbors := make(map[overlay.PeerID]bool, len(st.Closure))
+		for _, q := range net.Neighbors(p) {
+			neighbors[q] = true
+		}
+		// Covered members of p's closure are the rival claimants p
+		// knows about.
+		var rivals []overlay.PeerID
+		for _, x := range st.Closure {
+			if x != p && covered.Has(x) {
+				rivals = append(rivals, x)
+			}
+		}
+		keepTargets = make(map[overlay.PeerID]bool)
+		for _, x := range st.Closure {
+			if x == p || covered.Has(x) {
+				continue
+			}
+			if neighbors[x] || t.Opt.Config().NoLaunchElection {
+				keepTargets[x] = true // scope guarantee / ablation
+				continue
+			}
+			// Election: keep x only if p is the nearest covered peer it
+			// knows to x (ties broken toward the smaller id).
+			win := true
+			px := net.Cost(p, x)
+			for _, c := range rivals {
+				cx := net.Cost(c, x)
+				if cx < px || (cx == px && c < p) {
+					win = false
+					break
+				}
+			}
+			if win {
+				keepTargets[x] = true
+			}
+		}
+		if len(keepTargets) == 0 {
+			return nil, nil
+		}
+	}
+
+	pruned := pruneTree(st, p, keepTargets)
+	if pruned == nil {
+		return nil, nil
+	}
+	members := make(map[overlay.PeerID]bool, len(pruned)+1)
+	for u := range pruned {
+		members[u] = true
+	}
+	members[p] = true
+	return pruned, covered.extend(members)
+}
+
+// pruneTree keeps the branches of st's tree (rooted at root) that reach
+// at least one target, returning nil when none do.
+func pruneTree(st *PeerState, root overlay.PeerID, targets map[overlay.PeerID]bool) TreeAdj {
+	keep := make(map[overlay.PeerID]bool, len(targets)*2)
+	type frame struct {
+		node, parent overlay.PeerID
+		childIdx     int
+	}
+	stack := []frame{{node: root, parent: -1}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		children := st.TreeAdj[f.node]
+		advanced := false
+		for f.childIdx < len(children) {
+			c := children[f.childIdx]
+			f.childIdx++
+			if c != f.parent {
+				stack = append(stack, frame{node: c, parent: f.node})
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		// Post-visit: keep a node if it is a target or carries one.
+		if targets[f.node] {
+			keep[f.node] = true
+		}
+		if keep[f.node] && f.parent != -1 {
+			keep[f.parent] = true
+		}
+		stack = stack[:len(stack)-1]
+	}
+	if !keep[root] && !targets[root] {
+		return nil
+	}
+	keep[root] = true
+	pruned := make(TreeAdj, len(keep))
+	for u := range keep {
+		for _, v := range st.TreeAdj[u] {
+			if keep[v] {
+				pruned[u] = append(pruned[u], v)
+			}
+		}
+	}
+	return pruned
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ace/internal/overlay"
+	"ace/internal/sim"
+)
+
+// Optimizer runs ACE over an overlay network. It owns per-peer state and
+// mutates the network's connections in Phase 3. It is not safe for
+// concurrent use; simulators drive it from one goroutine.
+type Optimizer struct {
+	net *overlay.Network
+	cfg Config
+
+	state map[overlay.PeerID]*PeerState
+	// pending records the deferred Figure-4(c) replacements: pending[a][b]
+	// holds the candidate h that a connected to while keeping its
+	// non-flooding neighbor b. a cuts a—b once it observes (via the
+	// periodic exchange) that the b—h connection is gone, or abandons
+	// the experiment — cutting the extra a—h link — when b—h survives
+	// PendingTTL rounds, so tentative links cannot accumulate.
+	pending map[overlay.PeerID]map[overlay.PeerID]pendingCut
+
+	totalOverhead float64 // accumulated probe + exchange traffic cost
+}
+
+// pendingCut is one outstanding Figure-4(c) experiment.
+type pendingCut struct {
+	h   overlay.PeerID
+	ttl int
+}
+
+// PendingTTL is how many rounds a Figure-4(c) tentative link survives
+// before the experiment is abandoned.
+const PendingTTL = 3
+
+// MaxPending caps a peer's outstanding Figure-4(c) experiments, bounding
+// the tentative extra degree a peer carries.
+const MaxPending = 2
+
+// StepReport summarizes one ACE round for instrumentation and tests.
+type StepReport struct {
+	Probes       int     // Phase-3 candidate probes issued
+	Replacements int     // immediate Figure-4(b) replacements
+	KeptNew      int     // Figure-4(c) tentative connections
+	DeferredCuts int     // pending cuts executed this round
+	Abandoned    int     // Figure-4(c) experiments expired this round
+	Repairs      int     // bootstrap connections opened to hold MinDegree
+	ProbeTraffic float64 // traffic cost of this round's probes
+	ExchangeCost float64 // traffic cost of this round's cost-table exchange
+}
+
+// NewOptimizer validates cfg and attaches an optimizer to net. No state
+// is built until the first Round (peers have not exchanged tables yet).
+func NewOptimizer(net *overlay.Network, cfg Config) (*Optimizer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Optimizer{
+		net:     net,
+		cfg:     cfg,
+		state:   make(map[overlay.PeerID]*PeerState),
+		pending: make(map[overlay.PeerID]map[overlay.PeerID]pendingCut),
+	}, nil
+}
+
+// Config returns the optimizer's configuration.
+func (o *Optimizer) Config() Config { return o.cfg }
+
+// Network returns the overlay this optimizer mutates.
+func (o *Optimizer) Network() *overlay.Network { return o.net }
+
+// State returns the Phase-1/2 state of p from the last rebuild, or nil if
+// p had none (dead, or joined after the last round).
+func (o *Optimizer) State(p overlay.PeerID) *PeerState { return o.state[p] }
+
+// RebuildTrees runs Phases 1–2 for every live peer: probe costs, exchange
+// tables, build the closure MSTs, and split neighbors into flooding and
+// non-flooding sets. It returns the traffic cost of this exchange cycle
+// and accumulates it into TotalOverhead.
+// Peers build their states independently in the real protocol, and here
+// too: the per-peer builds fan out over a worker pool (the network is
+// not mutated during a rebuild, and the distance oracle is safe for
+// concurrent reads), with results committed in deterministic order.
+func (o *Optimizer) RebuildTrees() float64 {
+	clear(o.state)
+	peers := o.net.AlivePeers()
+	states := make([]*PeerState, len(peers))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(peers) {
+		workers = len(peers)
+	}
+	if workers <= 1 {
+		for i, p := range peers {
+			states[i] = buildState(o.net, p, o.cfg.Depth, o.cfg.SparseKnowledge)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					states[i] = buildState(o.net, peers[i], o.cfg.Depth, o.cfg.SparseKnowledge)
+				}
+			}()
+		}
+		for i := range peers {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for i, p := range peers {
+		o.state[p] = states[i]
+	}
+	cost := o.exchangeCost()
+	o.totalOverhead += cost
+	return cost
+}
+
+// exchangeCost prices one cost-table exchange cycle: each peer re-probes
+// its direct neighbors and ships its accumulated pairwise cost knowledge
+// (which grows with the closure, |closure|·(|closure|−1)/2 entries) to
+// every neighbor. Message bytes scale with entry count; transport cost
+// scales with the physical delay of the logical link.
+func (o *Optimizer) exchangeCost() float64 {
+	total := 0.0
+	for _, p := range o.net.AlivePeers() {
+		st, ok := o.state[p]
+		if !ok {
+			continue
+		}
+		entries := float64(st.KnownPairs)
+		for _, q := range o.net.Neighbors(p) {
+			link := o.net.Cost(p, q)
+			// One probe round trip plus one table message per neighbor
+			// per cycle; the table message pays a fixed header plus its
+			// entries.
+			total += link * (o.cfg.ProbeCost + o.cfg.ExchangeHeaderCost + o.cfg.TableEntryCost*entries)
+		}
+	}
+	return total
+}
+
+// Round executes one full ACE step: Phases 1–2 (rebuild) followed by
+// Phase 3 (one replacement attempt per peer, per the configured policy).
+func (o *Optimizer) Round(rng *sim.RNG) StepReport {
+	report := StepReport{ExchangeCost: o.RebuildTrees()}
+	o.executePendingCuts(&report)
+
+	peers := o.net.AlivePeers()
+	for _, p := range peers {
+		if !o.net.Alive(p) {
+			continue // cut as a side effect earlier in this round
+		}
+		st := o.state[p]
+		if st == nil || len(st.NonFlooding) == 0 {
+			continue
+		}
+		switch o.cfg.Policy {
+		case PolicyRandom:
+			o.phase3Random(rng, p, st, &report)
+		case PolicyNaive:
+			o.phase3Naive(rng, p, st, &report)
+		case PolicyClosest:
+			o.phase3Closest(p, st, &report)
+		}
+	}
+	o.maintainMinDegree(rng, &report)
+	o.totalOverhead += report.ProbeTraffic
+	return report
+}
+
+// maintainMinDegree opens fresh bootstrap connections for peers that
+// fell below the client connection floor, re-knitting any fragments
+// Phase-3 rewiring severed.
+func (o *Optimizer) maintainMinDegree(rng *sim.RNG, report *StepReport) {
+	if o.cfg.MinDegree < 1 {
+		return
+	}
+	var alive []overlay.PeerID
+	for _, p := range o.net.AlivePeers() {
+		if o.net.Degree(p) < o.cfg.MinDegree {
+			if alive == nil {
+				alive = o.net.AlivePeers()
+			}
+			for attempts := 0; o.net.Degree(p) < o.cfg.MinDegree && attempts < 20; attempts++ {
+				q := alive[rng.Intn(len(alive))]
+				if o.net.Connect(p, q) {
+					report.Repairs++
+				}
+			}
+		}
+	}
+}
+
+// safeCut disconnects a—b unless that would strand b (or a) with no
+// neighbors at all: a client that loses its last connection re-joins
+// through its host cache, and peers avoid forcing that. It reports
+// whether the cut happened.
+func (o *Optimizer) safeCut(a, b overlay.PeerID) bool {
+	if !o.net.HasEdge(a, b) {
+		return false
+	}
+	if o.net.Degree(a) <= 1 || o.net.Degree(b) <= 1 {
+		return false
+	}
+	return o.net.Disconnect(a, b)
+}
+
+// abandonTentative removes the tentative a—h link of an expired or
+// voided Figure-4(c) experiment.
+func (o *Optimizer) abandonTentative(a, h overlay.PeerID, report *StepReport) {
+	if o.net.Alive(a) && o.net.Alive(h) && o.safeCut(a, h) {
+		report.Abandoned++
+	}
+}
+
+// executePendingCuts applies the deferred Figure-4(c) rule: once a peer
+// observes from the periodic exchange that its kept candidate's sponsor
+// link b—h is gone, it cuts its own link to b. Experiments voided by
+// churn or other rewiring, or expired past PendingTTL, drop their
+// tentative a—h link instead, so tentative degree never accumulates.
+func (o *Optimizer) executePendingCuts(report *StepReport) {
+	// Deterministic iteration: sort the owners.
+	owners := make([]overlay.PeerID, 0, len(o.pending))
+	for a := range o.pending {
+		owners = append(owners, a)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	for _, a := range owners {
+		m := o.pending[a]
+		bs := make([]overlay.PeerID, 0, len(m))
+		for b := range m {
+			bs = append(bs, b)
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		for _, b := range bs {
+			pc := m[b]
+			h := pc.h
+			switch {
+			case !o.net.Alive(a):
+				delete(m, b)
+			case !o.net.Alive(b), !o.net.HasEdge(a, b):
+				// Churn or another rule resolved the triangle some other
+				// way; the tentative link goes too.
+				o.abandonTentative(a, h, report)
+				delete(m, b)
+			case !o.net.Alive(h), !o.net.HasEdge(a, h):
+				delete(m, b) // candidate vanished; nothing tentative left
+			case !o.net.HasEdge(b, h):
+				// The designed resolution: b dropped its link to h, so a
+				// replaces b by h.
+				if o.safeCut(a, b) {
+					report.DeferredCuts++
+				}
+				delete(m, b)
+			case pc.ttl <= 1:
+				// b kept its link to h: undo the tentative connection
+				// so extra degree does not accumulate.
+				o.abandonTentative(a, h, report)
+				delete(m, b)
+			default:
+				pc.ttl--
+				m[b] = pc
+			}
+		}
+		if len(m) == 0 {
+			delete(o.pending, a)
+		}
+	}
+}
+
+// probe prices one Phase-3 delay measurement a→h and returns its cost.
+func (o *Optimizer) probe(a, h overlay.PeerID, report *StepReport) float64 {
+	report.Probes++
+	c := o.net.Cost(a, h)
+	report.ProbeTraffic += o.cfg.ProbeCost * c
+	return c
+}
+
+// applyFigure4 applies the paper's Figure-4 rules to candidate h drawn
+// from non-flooding neighbor b of peer a. It reports whether any
+// connection changed.
+func (o *Optimizer) applyFigure4(a, b, h overlay.PeerID, report *StepReport) bool {
+	ah := o.probe(a, h, report)
+	ab := o.net.Cost(a, b)
+	bh := o.net.Cost(b, h)
+	switch {
+	case ah < ab:
+		// Figure 4(b): closer candidate found — replace b by h, unless
+		// cutting would strand b.
+		if o.net.Degree(b) <= 1 {
+			return false
+		}
+		if !o.net.Connect(a, h) {
+			return false
+		}
+		if !o.safeCut(a, b) {
+			o.net.Disconnect(a, h) // undo: replacement impossible
+			return false
+		}
+		o.resolvePending(a, b, report)
+		report.Replacements++
+		return true
+	case ah < bh:
+		// Figure 4(c): keep h as a new neighbor; b is expected to demote
+		// and then drop its link to h, after which a cuts a—b. Bounded
+		// per peer so tentative links cannot pile up.
+		if _, renewing := o.pending[a][b]; !renewing && len(o.pending[a]) >= MaxPending {
+			return false
+		}
+		if !o.net.Connect(a, h) {
+			return false
+		}
+		o.resolvePending(a, b, report)
+		if o.pending[a] == nil {
+			o.pending[a] = make(map[overlay.PeerID]pendingCut)
+		}
+		o.pending[a][b] = pendingCut{h: h, ttl: PendingTTL}
+		report.KeptNew++
+		return true
+	default:
+		// Figure 4(d): candidate is worst of the triangle — keep probing.
+		return false
+	}
+}
+
+// resolvePending clears any outstanding experiment a had for b, dropping
+// its tentative link: a new decision about b supersedes it.
+func (o *Optimizer) resolvePending(a, b overlay.PeerID, report *StepReport) {
+	if old, ok := o.pending[a][b]; ok {
+		o.abandonTentative(a, old.h, report)
+		delete(o.pending[a], b)
+	}
+}
+
+// candidates lists the neighbors of b eligible to replace b for peer a:
+// alive, not a itself, and not already connected to a.
+func (o *Optimizer) candidates(a, b overlay.PeerID) []overlay.PeerID {
+	var out []overlay.PeerID
+	for _, h := range o.net.Neighbors(b) {
+		if h != a && o.net.Alive(h) && !o.net.HasEdge(a, h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// phase3Random implements the paper's default policy: per optimization
+// step, each non-flooding neighbor is probed with one randomly selected
+// candidate from its neighbor list.
+func (o *Optimizer) phase3Random(rng *sim.RNG, a overlay.PeerID, st *PeerState, report *StepReport) {
+	for _, b := range st.NonFlooding {
+		if !o.net.Alive(b) || !o.net.HasEdge(a, b) {
+			continue
+		}
+		cands := o.candidates(a, b)
+		if len(cands) == 0 {
+			continue
+		}
+		o.applyFigure4(a, b, cands[rng.Intn(len(cands))], report)
+	}
+}
+
+// phase3Naive implements §6's naive policy: target the most expensive
+// non-flooding neighbor, probe a few random candidates, and replace the
+// target with the cheapest candidate found that improves on it.
+func (o *Optimizer) phase3Naive(rng *sim.RNG, a overlay.PeerID, st *PeerState, report *StepReport) {
+	var worst overlay.PeerID = -1
+	worstCost := -1.0
+	for _, b := range st.NonFlooding {
+		if !o.net.Alive(b) || !o.net.HasEdge(a, b) {
+			continue
+		}
+		if c := o.net.Cost(a, b); c > worstCost {
+			worst, worstCost = b, c
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	cands := o.candidates(a, worst)
+	if len(cands) == 0 {
+		return
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > o.cfg.NaiveProbes {
+		cands = cands[:o.cfg.NaiveProbes]
+	}
+	best, bestCost := overlay.PeerID(-1), worstCost
+	for _, h := range cands {
+		if c := o.probe(a, h, report); c < bestCost {
+			best, bestCost = h, c
+		}
+	}
+	if best >= 0 && o.net.Degree(worst) > 1 && o.net.Connect(a, best) {
+		if !o.safeCut(a, worst) {
+			o.net.Disconnect(a, best)
+			return
+		}
+		o.resolvePending(a, worst, report)
+		report.Replacements++
+	}
+}
+
+// phase3Closest implements §6's closest policy: probe every candidate of
+// every non-flooding neighbor and apply Figure 4 to the closest one.
+func (o *Optimizer) phase3Closest(a overlay.PeerID, st *PeerState, report *StepReport) {
+	bestB, bestH, bestCost := overlay.PeerID(-1), overlay.PeerID(-1), 0.0
+	for _, b := range st.NonFlooding {
+		if !o.net.Alive(b) || !o.net.HasEdge(a, b) {
+			continue
+		}
+		for _, h := range o.candidates(a, b) {
+			c := o.probe(a, h, report)
+			if bestH < 0 || c < bestCost {
+				bestB, bestH, bestCost = b, h, c
+			}
+		}
+	}
+	if bestH >= 0 {
+		o.applyFigure4WithCost(a, bestB, bestH, bestCost, report)
+	}
+}
+
+// applyFigure4WithCost is applyFigure4 for a candidate already probed.
+func (o *Optimizer) applyFigure4WithCost(a, b, h overlay.PeerID, ah float64, report *StepReport) {
+	ab := o.net.Cost(a, b)
+	bh := o.net.Cost(b, h)
+	switch {
+	case ah < ab:
+		if o.net.Degree(b) > 1 && o.net.Connect(a, h) {
+			if !o.safeCut(a, b) {
+				o.net.Disconnect(a, h)
+				return
+			}
+			o.resolvePending(a, b, report)
+			report.Replacements++
+		}
+	case ah < bh:
+		if _, renewing := o.pending[a][b]; !renewing && len(o.pending[a]) >= MaxPending {
+			return
+		}
+		if o.net.Connect(a, h) {
+			o.resolvePending(a, b, report)
+			if o.pending[a] == nil {
+				o.pending[a] = make(map[overlay.PeerID]pendingCut)
+			}
+			o.pending[a][b] = pendingCut{h: h, ttl: PendingTTL}
+			report.KeptNew++
+		}
+	}
+}
+
+// TotalOverhead reports the accumulated probe + exchange traffic cost
+// since construction, in the same units as query traffic cost.
+func (o *Optimizer) TotalOverhead() float64 { return o.totalOverhead }
+
+// PendingCuts reports how many deferred Figure-4(c) cuts are outstanding.
+func (o *Optimizer) PendingCuts() int {
+	n := 0
+	for _, m := range o.pending {
+		n += len(m)
+	}
+	return n
+}
+
+// FloodingNeighbors returns p's current flooding set, sorted, or nil if p
+// has no built state.
+func (o *Optimizer) FloodingNeighbors(p overlay.PeerID) []overlay.PeerID {
+	st := o.state[p]
+	if st == nil {
+		return nil
+	}
+	out := make([]overlay.PeerID, 0, len(st.Flooding))
+	for q := range st.Flooding {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String implements fmt.Stringer for debugging.
+func (o *Optimizer) String() string {
+	return fmt.Sprintf("ACE(h=%d, policy=%s, peers=%d)", o.cfg.Depth, o.cfg.Policy, len(o.state))
+}

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"testing"
+
+	"ace/internal/overlay"
+	"ace/internal/physical"
+	"ace/internal/sim"
+	"ace/internal/topology"
+)
+
+// randomNet builds a BA-physical, random-overlay network for integration
+// tests.
+func randomNet(t *testing.T, seed int64, physN, peers int, avgDeg float64) *overlay.Network {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	phys, err := topology.GenerateBA(rng.Derive("phys"), topology.DefaultBASpec(physN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach, err := overlay.RandomAttachments(rng.Derive("at"), physN, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := overlay.NewNetwork(physical.NewOracle(phys.Graph, 0), attach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := overlay.GenerateRandom(rng.Derive("gen"), net, avgDeg); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// avgTreeEdgeCost reports the mean edge cost across every peer's
+// multicast tree — the quantity Phase 3's rewiring directly improves
+// (trees over closures of nearer neighbors have cheaper edges).
+func avgTreeEdgeCost(o *Optimizer) float64 {
+	var sum float64
+	count := 0
+	for _, p := range o.net.AlivePeers() {
+		st := o.State(p)
+		if st == nil {
+			continue
+		}
+		for u, adj := range st.TreeAdj {
+			for _, v := range adj {
+				if u < v {
+					sum += o.net.Cost(u, v)
+					count++
+				}
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+func TestRoundImprovesTreesAllPolicies(t *testing.T) {
+	for _, policy := range []Policy{PolicyRandom, PolicyNaive, PolicyClosest} {
+		t.Run(policy.String(), func(t *testing.T) {
+			net := randomNet(t, 41, 400, 200, 6)
+			cfg := DefaultConfig(1)
+			cfg.Policy = policy
+			o, err := NewOptimizer(net, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := sim.NewRNG(42)
+			o.RebuildTrees()
+			before := avgTreeEdgeCost(o)
+			for i := 0; i < 15; i++ {
+				o.Round(rng)
+			}
+			o.RebuildTrees()
+			after := avgTreeEdgeCost(o)
+			if after >= before {
+				t.Fatalf("%s: mean tree edge cost %v did not drop from %v", policy, after, before)
+			}
+			if !net.IsConnected() {
+				t.Fatal("optimization disconnected the overlay")
+			}
+			// Replacements trade link for link; tentative links are
+			// bounded by MaxPending, so density must not explode.
+			if d := net.AverageDegree(); d < 3 || d > 14 {
+				t.Fatalf("average degree drifted to %v", d)
+			}
+		})
+	}
+}
+
+func TestRoundDeterministic(t *testing.T) {
+	run := func() []overlay.Edge {
+		net := randomNet(t, 43, 300, 150, 6)
+		o, _ := NewOptimizer(net, DefaultConfig(2))
+		rng := sim.NewRNG(44)
+		for i := 0; i < 8; i++ {
+			o.Round(rng)
+		}
+		return net.SnapshotEdges()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeeperClosureSeesMore(t *testing.T) {
+	net := randomNet(t, 45, 600, 300, 8)
+	sizes := make([]float64, 0, 3)
+	for _, h := range []int{1, 2, 3} {
+		o, _ := NewOptimizer(net, DefaultConfig(h))
+		o.RebuildTrees()
+		var total, pairs float64
+		for _, p := range net.AlivePeers() {
+			st := o.State(p)
+			total += float64(len(st.Closure))
+			pairs += float64(st.KnownPairs)
+		}
+		if pairs <= total {
+			t.Fatalf("h=%d: knowledge not quadratic in closure (%v pairs, %v nodes)", h, pairs, total)
+		}
+		sizes = append(sizes, total)
+	}
+	if !(sizes[0] < sizes[1] && sizes[1] < sizes[2]) {
+		t.Fatalf("closures not growing with depth: %v", sizes)
+	}
+}
+
+func TestOverheadIncreasesWithDepth(t *testing.T) {
+	overhead := func(h int) float64 {
+		net := randomNet(t, 47, 400, 200, 6)
+		o, _ := NewOptimizer(net, DefaultConfig(h))
+		return o.RebuildTrees()
+	}
+	o1, o2, o3 := overhead(1), overhead(2), overhead(3)
+	if !(o1 < o2 && o2 < o3) {
+		t.Fatalf("overhead not increasing with depth: h1=%v h2=%v h3=%v", o1, o2, o3)
+	}
+}
+
+func TestTotalOverheadAccumulates(t *testing.T) {
+	net := randomNet(t, 48, 200, 100, 6)
+	o, _ := NewOptimizer(net, DefaultConfig(1))
+	rng := sim.NewRNG(49)
+	o.Round(rng)
+	after1 := o.TotalOverhead()
+	if after1 <= 0 {
+		t.Fatal("overhead should be positive after a round")
+	}
+	o.Round(rng)
+	if o.TotalOverhead() <= after1 {
+		t.Fatal("overhead should accumulate across rounds")
+	}
+}
+
+func sendsEqual(t *testing.T, got []Send, want []Send) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("sends = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].To != want[i].To || got[i].Tree != want[i].Tree {
+			t.Fatalf("sends = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTreeForwardingSourceLaunchesOwnTree(t *testing.T) {
+	net := starChord(t)
+	o := newOpt(t, net, 1)
+	o.RebuildTrees()
+	fwd := TreeForwarding{Opt: o}
+	// tree(0) over the complete closure graph: 1-2(1), 2-3(1), 0-1(10).
+	// The source multicasts over its own tree: only peer 1, tagged 0.
+	sends := fwd.Forward(0, 0, -1, NoTree, nil, nil, true)
+	sendsEqual(t, sends, []Send{{To: 1, Tree: 0}})
+	// The launch carries the full tree and claims the whole closure.
+	if len(sends[0].Adj) != 4 {
+		t.Fatalf("launch adj = %v, want the full 4-node tree", sends[0].Adj)
+	}
+	for _, q := range []overlay.PeerID{0, 1, 2, 3} {
+		if !sends[0].Covered.Has(q) {
+			t.Fatalf("covered set missing %d", q)
+		}
+	}
+}
+
+func TestTreeForwardingRelayContinuesServingTree(t *testing.T) {
+	net := starChord(t)
+	o := newOpt(t, net, 1)
+	o.RebuildTrees()
+	fwd := TreeForwarding{Opt: o}
+	src := fwd.Forward(0, 0, -1, NoTree, nil, nil, true)
+	adj, cs := src[0].Adj, src[0].Covered
+
+	// Relay 1, arriving from 0 on tree 0: continue tree(0) to 2. Its own
+	// closure {1,0,2} is fully covered, so no launch.
+	sendsEqual(t, fwd.Forward(0, 1, 0, 0, adj, cs, true), []Send{{To: 2, Tree: 0}})
+	// Relay 2 continues to 3; relay 3 is a leaf with nothing new.
+	sendsEqual(t, fwd.Forward(0, 2, 1, 0, adj, cs, true), []Send{{To: 3, Tree: 0}})
+	sendsEqual(t, fwd.Forward(0, 3, 2, 0, adj, cs, true), nil)
+}
+
+func TestTreeForwardingLaunchCoversUncoveredNeighbor(t *testing.T) {
+	// Chain overlay 0-1-2 at h=1: 2 is outside 0's closure. Relay 1 must
+	// launch its own tree (pruned to peer 2) so the query escapes.
+	net := lineNet(t, []int{0, 1, 2})
+	net.Connect(0, 1)
+	net.Connect(1, 2)
+	o := newOpt(t, net, 1)
+	o.RebuildTrees()
+	fwd := TreeForwarding{Opt: o}
+	src := fwd.Forward(0, 0, -1, NoTree, nil, nil, true)
+	sendsEqual(t, src, []Send{{To: 1, Tree: 0}})
+
+	sends := fwd.Forward(0, 1, 0, 0, src[0].Adj, src[0].Covered, true)
+	sendsEqual(t, sends, []Send{{To: 2, Tree: 1}})
+	if !sends[0].Covered.Has(2) {
+		t.Fatal("launch did not extend the covered set")
+	}
+}
+
+func TestTreeForwardingElectionSuppressesRedundantLaunch(t *testing.T) {
+	// Chain 0-1-2-3-4, h=2. Source 0's tree covers {0,1,2}. Peer 3 is
+	// uncovered; relay 1 sees it (closure {1,0,2,3}) but peer 2 is
+	// closer to 3, so 1 defers (election) while 2 launches toward 3.
+	net := lineNet(t, []int{0, 1, 2, 3, 4})
+	net.Connect(0, 1)
+	net.Connect(1, 2)
+	net.Connect(2, 3)
+	net.Connect(3, 4)
+	o := newOpt(t, net, 2)
+	o.RebuildTrees()
+	fwd := TreeForwarding{Opt: o}
+	src := fwd.Forward(0, 0, -1, NoTree, nil, nil, true)
+	adj, cs := src[0].Adj, src[0].Covered
+
+	got := fwd.Forward(0, 1, 0, 0, adj, cs, true)
+	sendsEqual(t, got, []Send{{To: 2, Tree: 0}}) // continuation only, no launch
+
+	got = fwd.Forward(0, 2, 1, 0, adj, cs, true)
+	sendsEqual(t, got, []Send{{To: 3, Tree: 2}}) // pruned launch toward 3
+}
+
+func TestTreeForwardingFallsBackToBlind(t *testing.T) {
+	net := starChord(t)
+	o := newOpt(t, net, 1)
+	// No RebuildTrees: no peer has state → blind flooding.
+	fwd := TreeForwarding{Opt: o}
+	if got := fwd.Forward(0, 0, -1, NoTree, nil, nil, true); len(got) != 3 {
+		t.Fatalf("stateless sends = %v, want all 3 neighbors", got)
+	}
+	for _, snd := range fwd.Forward(0, 2, 0, NoTree, nil, nil, true) {
+		if snd.To == 0 {
+			t.Fatal("sends must exclude the arrival link")
+		}
+		if snd.Tree != NoTree {
+			t.Fatal("blind fallback must not tag a tree")
+		}
+	}
+	if got := fwd.Forward(0, 2, 0, NoTree, nil, nil, false); got != nil {
+		t.Fatalf("blind duplicate copy forwarded: %v", got)
+	}
+}
+
+func TestTreeForwardingSplicesAroundDeadTargets(t *testing.T) {
+	// tree(0) is the chain 0-1-2-3. When relay 1 leaves between
+	// exchanges, 0 splices around it and forwards directly to 1's tree
+	// child 2 — the relay holds the full tree, so the multicast
+	// survives churn.
+	net := starChord(t)
+	o := newOpt(t, net, 1)
+	o.RebuildTrees()
+	net.Leave(1)
+	fwd := TreeForwarding{Opt: o}
+	got := fwd.Forward(0, 0, -1, NoTree, nil, nil, true)
+	sendsEqual(t, got, []Send{{To: 2, Tree: 0}})
+
+	// With both 1 and 2 gone, the splice reaches through to 3.
+	net.Leave(2)
+	got = fwd.Forward(0, 0, -1, NoTree, nil, nil, true)
+	sendsEqual(t, got, []Send{{To: 3, Tree: 0}})
+
+	// With the whole subtree gone there is nothing left to send.
+	net.Leave(3)
+	if got := fwd.Forward(0, 0, -1, NoTree, nil, nil, true); len(got) != 0 {
+		t.Fatalf("sends = %v, want empty when all targets left", got)
+	}
+}
+
+func TestTreeForwardingUsesNonOverlayTreeLinks(t *testing.T) {
+	// Tree links need not be overlay connections: cutting the overlay
+	// edge 0-1 must not stop 0 forwarding along its tree pair to 1.
+	net := starChord(t)
+	o := newOpt(t, net, 1)
+	o.RebuildTrees()
+	net.Disconnect(0, 1)
+	fwd := TreeForwarding{Opt: o}
+	sendsEqual(t, fwd.Forward(0, 0, -1, NoTree, nil, nil, true), []Send{{To: 1, Tree: 0}})
+}
+
+func TestTreeForwardingLaunchMayReturnThroughSender(t *testing.T) {
+	// A launch is a fresh multicast and may flow back through the peer
+	// the query arrived from when that peer is on the launched tree.
+	// Chain 0-1-2 with 1 in the middle: 1's own tree is 1-0, 1-2; a
+	// query from 2 reaches 1, whose launch toward 0 goes "back" via the
+	// tree pair 1-0 — but 0 is uncovered only from 2's perspective.
+	net := lineNet(t, []int{0, 1, 2})
+	net.Connect(0, 1)
+	net.Connect(1, 2)
+	o := newOpt(t, net, 1)
+	o.RebuildTrees()
+	fwd := TreeForwarding{Opt: o}
+	src := fwd.Forward(2, 2, -1, NoTree, nil, nil, true)
+	sendsEqual(t, src, []Send{{To: 1, Tree: 2}})
+	sends := fwd.Forward(2, 1, 2, 2, src[0].Adj, src[0].Covered, true)
+	sendsEqual(t, sends, []Send{{To: 0, Tree: 1}})
+}
+
+func TestBlindFloodingForward(t *testing.T) {
+	net := starChord(t)
+	fwd := BlindFlooding{Net: net}
+	got := fwd.Forward(0, 2, 0, NoTree, nil, nil, true)
+	// 2's neighbors: 0, 1, 3; minus arrival 0.
+	sendsEqual(t, got, []Send{{To: 1, Tree: NoTree}, {To: 3, Tree: NoTree}})
+}
+
+func TestNaivePolicyTargetsMostExpensive(t *testing.T) {
+	// Peer 0 at position 0 with neighbors at 1 (cheap, flooding), 50 and
+	// 200 (non-flooding). The naive policy must aim at the 200 one.
+	net := lineNet(t, []int{0, 1, 50, 200, 210})
+	net.Connect(0, 1)
+	net.Connect(0, 2)
+	net.Connect(0, 3)
+	net.Connect(1, 2) // lets MST reach 2 without 0—2
+	net.Connect(2, 3) // lets MST reach 3 without 0—3
+	net.Connect(3, 4) // candidate pool for peer 3: {4}
+	net.Connect(2, 4)
+
+	cfg := DefaultConfig(1)
+	cfg.Policy = PolicyNaive
+	o, err := NewOptimizer(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.RebuildTrees()
+	st := o.State(0)
+	if len(st.NonFlooding) != 2 {
+		t.Fatalf("precondition: nonflooding(0) = %v, want two entries", st.NonFlooding)
+	}
+	var rep StepReport
+	o.phase3Naive(sim.NewRNG(50), 0, st, &rep)
+	// Candidates of worst neighbor 3 are {2? already neighbor, 4}. Cost
+	// 0—4 = 210 > 200: no improvement, keep.
+	if net.HasEdge(0, 3) == false {
+		t.Fatal("naive policy replaced despite no cheaper candidate")
+	}
+	// Now make candidate 4 cheap and retry.
+	net2 := lineNet(t, []int{0, 1, 50, 200, 30})
+	net2.Connect(0, 1)
+	net2.Connect(0, 2)
+	net2.Connect(0, 3)
+	net2.Connect(1, 2)
+	net2.Connect(2, 3)
+	net2.Connect(3, 4)
+	net2.Connect(2, 4)
+	o2, _ := NewOptimizer(net2, cfg)
+	o2.RebuildTrees()
+	rep = StepReport{}
+	o2.phase3Naive(sim.NewRNG(51), 0, o2.State(0), &rep)
+	if rep.Replacements != 1 || net2.HasEdge(0, 3) || !net2.HasEdge(0, 4) {
+		t.Fatalf("naive policy should replace 3 with 4: %+v", rep)
+	}
+}
+
+func TestClosestPolicyProbesAllCandidates(t *testing.T) {
+	net := randomNet(t, 52, 300, 150, 8)
+	cfg := DefaultConfig(1)
+	cfg.Policy = PolicyClosest
+	o, _ := NewOptimizer(net, cfg)
+	rng := sim.NewRNG(53)
+	rep := o.Round(rng)
+	// Closest probes every candidate of every non-flooding neighbor —
+	// far more probes than peers.
+	if rep.Probes <= net.NumAlive() {
+		t.Fatalf("closest policy probed only %d times for %d peers", rep.Probes, net.NumAlive())
+	}
+}
+
+func TestRoundSkipsDeadAndStatelessPeers(t *testing.T) {
+	net := starChord(t)
+	o := newOpt(t, net, 1)
+	net.Leave(3)
+	rng := sim.NewRNG(54)
+	// Must not panic with a dead peer and missing states.
+	o.Round(rng)
+}
+
+func TestPendingExperimentExpires(t *testing.T) {
+	// Set up a case (c) whose b—h link never vanishes: after PendingTTL
+	// rounds the tentative a—h link must be abandoned.
+	net := figure4Net(t, 50, 90, 0)
+	o := newOpt(t, net, 1)
+	o.RebuildTrees()
+	var rep StepReport
+	o.applyFigure4(0, 1, 2, &rep)
+	if rep.KeptNew != 1 || !net.HasEdge(0, 2) {
+		t.Fatalf("precondition: %+v", rep)
+	}
+	expired := false
+	for i := 0; i < PendingTTL+1; i++ {
+		rep = StepReport{}
+		o.executePendingCuts(&rep)
+		if rep.Abandoned > 0 {
+			expired = true
+			break
+		}
+	}
+	if !expired {
+		t.Fatal("tentative link never expired")
+	}
+	if net.HasEdge(0, 2) {
+		t.Fatal("abandoned tentative link still present")
+	}
+	if !net.HasEdge(0, 1) {
+		t.Fatal("original link must survive an abandoned experiment")
+	}
+	if o.PendingCuts() != 0 {
+		t.Fatal("pending entry not cleared")
+	}
+}
+
+func TestMaxPendingCapsExperiments(t *testing.T) {
+	// Peer 0 with many non-flooding neighbors that all trigger case (c):
+	// only MaxPending tentative links may be outstanding.
+	// Build: A@50 with flooding anchor F@51; non-flooding neighbors at
+	// 90, 92, 94, 96, each with a candidate on the far side (near 0).
+	attach := []int{50, 51, 90, 92, 94, 96, 0, 2, 4, 6}
+	net := lineNet(t, attach)
+	net.Connect(0, 1) // A—F anchor
+	for i := 2; i <= 5; i++ {
+		net.Connect(0, overlay.PeerID(i))                             // A—Bi
+		net.Connect(1, overlay.PeerID(i))                             // F—Bi keeps Bi off A's tree
+		net.Connect(overlay.PeerID(i), overlay.PeerID(i+4))           // Bi—Hi
+		net.Connect(overlay.PeerID(i+4), overlay.PeerID((i-2+1)%4+6)) // keep Hi degree ≥ 2
+	}
+	o := newOpt(t, net, 1)
+	o.RebuildTrees()
+	st := o.State(0)
+	if len(st.NonFlooding) < 3 {
+		t.Skipf("fixture produced only %d non-flooding neighbors", len(st.NonFlooding))
+	}
+	var rep StepReport
+	for _, b := range st.NonFlooding {
+		for _, h := range o.candidates(0, b) {
+			o.applyFigure4(0, b, h, &rep)
+		}
+	}
+	if got := len(o.pending[0]); got > MaxPending {
+		t.Fatalf("pending experiments %d exceed MaxPending %d", got, MaxPending)
+	}
+}
+
+func TestMinDegreeMaintenance(t *testing.T) {
+	net := randomNet(t, 71, 200, 100, 6)
+	cfg := DefaultConfig(1)
+	cfg.MinDegree = 3
+	o, err := NewOptimizer(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip a peer down to zero links, then run a round: maintenance
+	// must reconnect it.
+	victim := net.AlivePeers()[0]
+	for _, q := range net.Neighbors(victim) {
+		net.Disconnect(victim, q)
+	}
+	rep := o.Round(sim.NewRNG(72))
+	if rep.Repairs == 0 {
+		t.Fatal("no repairs reported")
+	}
+	if net.Degree(victim) < 3 {
+		t.Fatalf("victim degree %d below MinDegree 3", net.Degree(victim))
+	}
+}
+
+func TestAOTOConfig(t *testing.T) {
+	cfg := AOTOConfig()
+	if cfg.Policy != PolicyNaive || cfg.Depth != 1 {
+		t.Fatalf("AOTO config: %+v", cfg)
+	}
+	net := randomNet(t, 73, 200, 100, 6)
+	o, err := NewOptimizer(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.RebuildTrees()
+	before := avgTreeEdgeCost(o)
+	rng := sim.NewRNG(74)
+	for i := 0; i < 8; i++ {
+		o.Round(rng)
+	}
+	o.RebuildTrees()
+	if after := avgTreeEdgeCost(o); after >= before {
+		t.Fatalf("AOTO did not improve trees: %v vs %v", after, before)
+	}
+}

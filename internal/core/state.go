@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sort"
+
+	"ace/internal/graph"
+	"ace/internal/overlay"
+)
+
+// PeerState is the knowledge one peer accumulates in Phases 1–2: its
+// h-closure, the multicast tree over it, and the flooding/non-flooding
+// split of its direct neighbors. It is rebuilt on every ACE round from
+// fresh cost tables, modelling the periodic exchange.
+//
+// Phase 1 gives the peer the cost between ANY pair of peers in its
+// closure ("a peer can obtain the cost between any pair of its logical
+// neighbors"): delay probes are IP-level pings that need no overlay
+// connection, so the tree is the MST of the COMPLETE cost graph on the
+// closure, built with dense Prim — the O(m²) construction the paper
+// cites. Tree links that are not overlay connections are legitimate
+// forwarding connections (Figure 3(b)): a peer can always send a query
+// to an IP it learned from a cost table.
+type PeerState struct {
+	// Closure lists the peers within h overlay hops, BFS order, self
+	// first.
+	Closure []overlay.PeerID
+	// Depth maps each closure member to its overlay hop distance from
+	// the peer.
+	Depth map[overlay.PeerID]int
+	// TreeAdj is the adjacency of the peer's multicast tree over the
+	// closure; values are sorted.
+	TreeAdj map[overlay.PeerID][]overlay.PeerID
+	// Flooding holds the direct neighbors adjacent to the peer on its
+	// tree; queries go only to these (plus any non-neighbor tree links,
+	// which TreeAdj already lists).
+	Flooding map[overlay.PeerID]bool
+	// NonFlooding holds the remaining direct neighbors, sorted — the
+	// Phase-3 replacement targets.
+	NonFlooding []overlay.PeerID
+	// KnownPairs counts the pairwise costs this peer holds — the size
+	// of its cost-table knowledge, used for overhead accounting.
+	KnownPairs int
+}
+
+// buildState runs Phases 1–2 for peer p against the current network.
+// sparse selects the ablation reading (trees over the overlay subgraph
+// only).
+func buildState(net *overlay.Network, p overlay.PeerID, h int, sparse bool) *PeerState {
+	closure := graph.Neighborhood(int(p), h, func(u int) []int {
+		nbrs := net.Neighbors(overlay.PeerID(u))
+		out := make([]int, len(nbrs))
+		for i, q := range nbrs {
+			out[i] = int(q)
+		}
+		return out
+	})
+	s := len(closure)
+
+	st := &PeerState{
+		Closure:    make([]overlay.PeerID, s),
+		Depth:      make(map[overlay.PeerID]int, s),
+		TreeAdj:    make(map[overlay.PeerID][]overlay.PeerID, s),
+		Flooding:   make(map[overlay.PeerID]bool),
+		KnownPairs: s * (s - 1) / 2,
+	}
+	inClosure := make(map[int]bool, s)
+	for i, u := range closure {
+		st.Closure[i] = overlay.PeerID(u)
+		inClosure[u] = true
+	}
+	// BFS depths over the closure subgraph.
+	st.Depth[p] = 0
+	frontier := []overlay.PeerID{p}
+	for d := 1; len(frontier) > 0; d++ {
+		var next []overlay.PeerID
+		for _, u := range frontier {
+			for _, v := range net.Neighbors(u) {
+				if _, seen := st.Depth[v]; !seen && inClosure[int(v)] {
+					st.Depth[v] = d
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	if sparse {
+		// Ablation: the tree spans only the overlay edges inside the
+		// closure.
+		var edges []graph.Edge
+		for _, u := range closure {
+			for _, v := range net.Neighbors(overlay.PeerID(u)) {
+				if int(v) > u && inClosure[int(v)] {
+					edges = append(edges, graph.Edge{U: u, V: int(v), W: net.Cost(overlay.PeerID(u), v)})
+				}
+			}
+		}
+		st.KnownPairs = len(edges)
+		tree, _ := graph.PrimMST(closure, edges, int(p))
+		for _, e := range tree {
+			u, v := overlay.PeerID(e.U), overlay.PeerID(e.V)
+			st.TreeAdj[u] = append(st.TreeAdj[u], v)
+			st.TreeAdj[v] = append(st.TreeAdj[v], u)
+		}
+	} else {
+		// Dense Prim over the complete cost graph on the closure;
+		// closure[0] is p itself, so the tree is rooted at p. Distance
+		// vectors are fetched once per member and indexed directly —
+		// the O(s²) inner loop must not pay the oracle's lock per pair.
+		oracle := net.Oracle()
+		attach := make([]int, s)
+		vecs := make([][]float32, s)
+		for i, u := range st.Closure {
+			attach[i] = net.Attachment(u)
+			vecs[i] = oracle.Vector(attach[i])
+		}
+		parent := graph.PrimDense(s, func(i, j int) float64 {
+			return float64(vecs[i][attach[j]])
+		})
+		for i := 1; i < s; i++ {
+			u, v := st.Closure[parent[i]], st.Closure[i]
+			st.TreeAdj[u] = append(st.TreeAdj[u], v)
+			st.TreeAdj[v] = append(st.TreeAdj[v], u)
+		}
+	}
+	for u := range st.TreeAdj {
+		nbrs := st.TreeAdj[u]
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+
+	for _, q := range net.Neighbors(p) {
+		if onTree(st.TreeAdj[p], q) {
+			st.Flooding[q] = true
+		} else {
+			st.NonFlooding = append(st.NonFlooding, q)
+		}
+	}
+	return st
+}
+
+func onTree(sorted []overlay.PeerID, q overlay.PeerID) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= q })
+	return i < len(sorted) && sorted[i] == q
+}

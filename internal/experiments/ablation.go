@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ace/internal/core"
+	"ace/internal/metrics"
+	"ace/internal/report"
+)
+
+// AblationResult quantifies the two load-bearing reconstruction
+// decisions of DESIGN.md §5 by turning each off:
+//
+//   - sparse knowledge (§5.1): Phase-2 trees over the overlay subgraph
+//     instead of the complete pairwise cost graph;
+//   - no launch election (§5.3): launched trees keep every uncovered
+//     member, so sibling launches re-flood each other's regions.
+type AblationResult struct {
+	// Reduction and Scope per variant: "full", "sparse-knowledge",
+	// "no-election".
+	Reduction map[string]float64
+	Scope     map[string]float64
+}
+
+// Ablation measures converged traffic reduction and scope for the full
+// design and each ablated variant, at the depth where the mechanism
+// matters (h = 2 for the election; h = 1 for knowledge).
+func Ablation(sc Scale, c, steps int) (*AblationResult, error) {
+	res := &AblationResult{
+		Reduction: map[string]float64{},
+		Scope:     map[string]float64{},
+	}
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"full", core.DefaultConfig(1)},
+		{"sparse-knowledge", func() core.Config {
+			cfg := core.DefaultConfig(1)
+			cfg.SparseKnowledge = true
+			return cfg
+		}()},
+		{"no-election", func() core.Config {
+			cfg := core.DefaultConfig(2) // sibling overlap appears at h >= 2
+			cfg.NoLaunchElection = true
+			return cfg
+		}()},
+		{"full-h2", core.DefaultConfig(2)}, // the fair contrast for no-election
+	}
+	type out struct{ reduction, scope float64 }
+	outs := make([]out, len(variants))
+	err := forEach(len(variants), func(i int) error {
+		env, err := BuildEnv(sc.Seeds[0], sc, float64(c))
+		if err != nil {
+			return err
+		}
+		blind := env.MeasureQueries(core.BlindFlooding{Net: env.Net}, sc.QueriesPerPoint, "abl-blind")
+		opt, err := core.NewOptimizer(env.Net, variants[i].cfg)
+		if err != nil {
+			return err
+		}
+		optRNG := env.RNG.Derive("abl-opt")
+		for k := 0; k < steps; k++ {
+			opt.Round(optRNG)
+		}
+		opt.RebuildTrees()
+		ace := env.MeasureQueries(core.TreeForwarding{Opt: opt}, sc.QueriesPerPoint, "abl-ace")
+		outs[i] = out{
+			reduction: metrics.Reduction(blind.Traffic.Mean(), ace.Traffic.Mean()),
+			scope:     ace.Scope.Mean() / blind.Scope.Mean(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		res.Reduction[v.name] = outs[i].reduction
+		res.Scope[v.name] = outs[i].scope
+	}
+	return res, nil
+}
+
+// Table renders the ablation summary.
+func (r *AblationResult) Table() *report.Table {
+	tbl := &report.Table{
+		ID:    "ablation",
+		Title: "Design ablations (traffic reduction vs blind flooding, scope ratio)",
+		Cols:  []string{"variant", "traffic reduction", "scope ratio"},
+	}
+	for _, name := range []string{"full", "sparse-knowledge", "full-h2", "no-election"} {
+		tbl.AddRow(name,
+			fmt.Sprintf("%.1f%%", 100*r.Reduction[name]),
+			fmt.Sprintf("%.3f", r.Scope[name]))
+	}
+	return tbl
+}

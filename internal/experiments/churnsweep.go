@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ace/internal/metrics"
+	"ace/internal/report"
+)
+
+// ChurnSweepResult measures how ACE's dynamic-environment gain depends
+// on churn intensity — the sensitivity analysis the paper's §4.3
+// parameters invite (its fixed 10-minute mean lifetime sits between the
+// FastTrack and Gnutella/Napster measurements it cites).
+type ChurnSweepResult struct {
+	// Lifetimes are the swept mean session lengths.
+	Lifetimes []time.Duration
+	// Reduction[i] is ACE's steady-state traffic reduction (overhead
+	// included) vs the Gnutella baseline at Lifetimes[i].
+	Reduction []float64
+	// ScopeRatio[i] is ACE's mean scope relative to the baseline.
+	ScopeRatio []float64
+}
+
+// ChurnSweep runs DynamicFigures at each lifetime and summarizes the
+// steady state (the second half of the windows).
+func ChurnSweep(sc Scale, c int, lifetimes []time.Duration, duration time.Duration) (*ChurnSweepResult, error) {
+	if len(lifetimes) == 0 {
+		return nil, fmt.Errorf("experiments: no lifetimes to sweep")
+	}
+	res := &ChurnSweepResult{Lifetimes: append([]time.Duration(nil), lifetimes...)}
+	res.Reduction = make([]float64, len(lifetimes))
+	res.ScopeRatio = make([]float64, len(lifetimes))
+	for i, lt := range lifetimes {
+		spec := DefaultDynamicSpec(c, true)
+		spec.Duration = duration
+		spec.Window = 100
+		// Scale the churn model via the spec: DynamicRun reads
+		// churn.DefaultModel(c); we adjust by overriding after build —
+		// the lifetime knob threads through LifetimeOverride.
+		spec.LifetimeOverride = lt
+		_, _, base, aced, err := DynamicFigures(sc, spec)
+		if err != nil {
+			return nil, err
+		}
+		steady := func(xs []float64) float64 {
+			if len(xs) == 0 {
+				return 0
+			}
+			var a metrics.Agg
+			for _, x := range xs[len(xs)/2:] {
+				a.Add(x)
+			}
+			return a.Mean()
+		}
+		res.Reduction[i] = metrics.Reduction(steady(base.TrafficWindows), steady(aced.TrafficWindows))
+		if base.MeanScope > 0 {
+			res.ScopeRatio[i] = aced.MeanScope / base.MeanScope
+		}
+	}
+	return res, nil
+}
+
+// Figure renders reduction vs mean lifetime.
+func (r *ChurnSweepResult) Figure() report.Figure {
+	fig := report.Figure{
+		ID: "churnsweep", Title: "ACE traffic reduction vs churn intensity",
+		XLabel: "mean lifetime (min)", YLabel: "traffic reduction (%)",
+	}
+	curve := report.Curve{Label: "ACE"}
+	for i, lt := range r.Lifetimes {
+		curve.Points = append(curve.Points, report.Point{
+			X: lt.Minutes(), Y: 100 * r.Reduction[i],
+		})
+	}
+	fig.Curves = append(fig.Curves, curve)
+	return fig
+}

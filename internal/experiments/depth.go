@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ace/internal/core"
+	"ace/internal/metrics"
+	"ace/internal/report"
+)
+
+// DepthResult holds the (C, h) sweep behind Figures 11–16: per cell, the
+// query-traffic reduction rate over blind flooding, the absolute traffic
+// saved per query, and the overhead traffic of one cost-table exchange
+// cycle at the converged topology.
+type DepthResult struct {
+	Cs, Hs []int
+	// Indexed by [c][h].
+	ReductionRate    map[int]map[int]float64
+	SavedPerQuery    map[int]map[int]float64
+	OverheadPerCycle map[int]map[int]float64
+	ScopeRatio       map[int]map[int]float64
+}
+
+// DepthSweep reproduces §5.3's data collection: for every (C, h) cell,
+// run ACE to convergence on a fresh topology and compare query traffic
+// against blind flooding on the original topology, recording the
+// exchange overhead alongside.
+func DepthSweep(sc Scale, cs, hs []int, steps int) (*DepthResult, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("experiments: steps %d, need >= 1", steps)
+	}
+	res := &DepthResult{
+		Cs: append([]int(nil), cs...), Hs: append([]int(nil), hs...),
+		ReductionRate:    map[int]map[int]float64{},
+		SavedPerQuery:    map[int]map[int]float64{},
+		OverheadPerCycle: map[int]map[int]float64{},
+		ScopeRatio:       map[int]map[int]float64{},
+	}
+	for _, c := range cs {
+		res.ReductionRate[c] = map[int]float64{}
+		res.SavedPerQuery[c] = map[int]float64{}
+		res.OverheadPerCycle[c] = map[int]float64{}
+		res.ScopeRatio[c] = map[int]float64{}
+	}
+
+	type cell struct{ c, h, seedIdx int }
+	var cells []cell
+	for _, c := range cs {
+		for _, h := range hs {
+			for si := range sc.Seeds {
+				cells = append(cells, cell{c, h, si})
+			}
+		}
+	}
+	type out struct{ reduction, saved, overhead, scopeRatio float64 }
+	outs := make([]out, len(cells))
+
+	err := forEach(len(cells), func(i int) error {
+		cl := cells[i]
+		env, err := BuildEnv(sc.Seeds[cl.seedIdx], sc, float64(cl.c))
+		if err != nil {
+			return err
+		}
+		blind := env.MeasureQueries(core.BlindFlooding{Net: env.Net}, sc.QueriesPerPoint, "blind")
+
+		opt, err := core.NewOptimizer(env.Net, core.DefaultConfig(cl.h))
+		if err != nil {
+			return err
+		}
+		optRNG := env.RNG.Derive("opt")
+		for k := 0; k < steps; k++ {
+			opt.Round(optRNG)
+		}
+		// Overhead of one steady-state exchange cycle.
+		overhead := opt.RebuildTrees()
+		ace := env.MeasureQueries(core.TreeForwarding{Opt: opt}, sc.QueriesPerPoint, "ace")
+
+		outs[i] = out{
+			reduction:  metrics.Reduction(blind.Traffic.Mean(), ace.Traffic.Mean()),
+			saved:      blind.Traffic.Mean() - ace.Traffic.Mean(),
+			overhead:   overhead,
+			scopeRatio: ace.Scope.Mean() / blind.Scope.Mean(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, c := range cs {
+		for _, h := range hs {
+			var red, sav, ov, sr metrics.Agg
+			for i, cl := range cells {
+				if cl.c == c && cl.h == h {
+					red.Add(outs[i].reduction)
+					sav.Add(outs[i].saved)
+					ov.Add(outs[i].overhead)
+					sr.Add(outs[i].scopeRatio)
+				}
+			}
+			res.ReductionRate[c][h] = red.Mean()
+			res.SavedPerQuery[c][h] = sav.Mean()
+			res.OverheadPerCycle[c][h] = ov.Mean()
+			res.ScopeRatio[c][h] = sr.Mean()
+		}
+	}
+	return res, nil
+}
+
+// ReductionFigure renders Figure 11: query traffic reduction rate (%)
+// over blind flooding vs closure depth, one curve per C.
+func (r *DepthResult) ReductionFigure() report.Figure {
+	fig := report.Figure{
+		ID: "fig11", Title: "Query traffic reduction rate vs closure depth",
+		XLabel: "depth of neighbor closure (h)", YLabel: "traffic reduction (%)",
+	}
+	for _, c := range r.Cs {
+		curve := report.Curve{Label: fmt.Sprintf("C=%d", c)}
+		for _, h := range r.Hs {
+			curve.Points = append(curve.Points, report.Point{X: float64(h), Y: 100 * r.ReductionRate[c][h]})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig
+}
+
+// OverheadFigure renders Figure 12: overhead traffic per exchange cycle
+// vs closure depth, one curve per C.
+func (r *DepthResult) OverheadFigure() report.Figure {
+	fig := report.Figure{
+		ID: "fig12", Title: "Overhead traffic per exchange cycle vs closure depth",
+		XLabel: "depth of neighbor closure (h)", YLabel: "overhead traffic",
+	}
+	for _, c := range r.Cs {
+		curve := report.Curve{Label: fmt.Sprintf("C=%d", c)}
+		for _, h := range r.Hs {
+			curve.Points = append(curve.Points, report.Point{X: float64(h), Y: r.OverheadPerCycle[c][h]})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig
+}
+
+// Rate computes the §4.2 optimization (gain/penalty) rate for degree c,
+// depth h and frequency ratio rr: the query traffic saved per exchange
+// period divided by the period's exchange overhead, with rr scaling the
+// query volume per period as the paper's frequency ratio R does.
+func (r *DepthResult) Rate(c, h int, rr float64) float64 {
+	return metrics.OptimizationRate(r.SavedPerQuery[c][h], r.OverheadPerCycle[c][h], rr)
+}
+
+// RateVsDepthFigure renders Figure 13 (c=10) / Figure 14 (c=4):
+// optimization rate vs closure depth, one curve per frequency ratio R.
+func (r *DepthResult) RateVsDepthFigure(id string, c int, rs []float64) report.Figure {
+	fig := report.Figure{
+		ID: id, Title: fmt.Sprintf("Optimization rate vs closure depth (C=%d)", c),
+		XLabel: "depth of neighbor closure (h)", YLabel: "optimization rate",
+	}
+	for _, rr := range rs {
+		curve := report.Curve{Label: fmt.Sprintf("R=%.1f", rr)}
+		for _, h := range r.Hs {
+			curve.Points = append(curve.Points, report.Point{X: float64(h), Y: r.Rate(c, h, rr)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig
+}
+
+// RateVsRatioFigure renders Figure 15 (c=10) / Figure 16 (c=4):
+// optimization rate vs frequency ratio, one curve per depth h.
+func (r *DepthResult) RateVsRatioFigure(id string, c int, rs []float64) report.Figure {
+	fig := report.Figure{
+		ID: id, Title: fmt.Sprintf("Optimization rate vs frequency ratio (C=%d)", c),
+		XLabel: "frequency ratio (R)", YLabel: "optimization rate",
+	}
+	for _, h := range r.Hs {
+		curve := report.Curve{Label: fmt.Sprintf("h=%d", h)}
+		for _, rr := range rs {
+			curve.Points = append(curve.Points, report.Point{X: rr, Y: r.Rate(c, h, rr)})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig
+}
+
+// MinimalDepth returns the smallest h in the sweep whose optimization
+// rate reaches 1 for the given C and R, or 0 when none does — the
+// quantity §5.3 reads off Figures 13–16.
+func (r *DepthResult) MinimalDepth(c int, rr float64) int {
+	for _, h := range r.Hs {
+		if r.Rate(c, h, rr) >= 1 {
+			return h
+		}
+	}
+	return 0
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ace/internal/cache"
+	"ace/internal/churn"
+	"ace/internal/core"
+	"ace/internal/gnutella"
+	"ace/internal/metrics"
+	"ace/internal/overlay"
+	"ace/internal/report"
+	"ace/internal/sim"
+)
+
+// DynamicSpec parameterizes a dynamic-environment run (§4.3/§5.2).
+type DynamicSpec struct {
+	// C is the topology's average degree.
+	C int
+	// Depth is ACE's closure depth (ignored when ACE is off).
+	Depth int
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// ACEInterval is how often each ACE round runs (paper: twice per
+	// minute).
+	ACEInterval time.Duration
+	// Window is the number of queries averaged per plotted point.
+	Window int
+	// WithACE toggles the optimizer (off = the Gnutella-like baseline).
+	WithACE bool
+	// LifetimeOverride, when positive, replaces the model's mean peer
+	// lifetime (the deviation scales to half of it, as in §4.3).
+	LifetimeOverride time.Duration
+}
+
+// DefaultDynamicSpec mirrors §5.2: 10-minute mean lifetimes, 0.3
+// queries/minute, ACE twice a minute.
+func DefaultDynamicSpec(c int, withACE bool) DynamicSpec {
+	return DynamicSpec{
+		C:           c,
+		Depth:       1,
+		Duration:    40 * time.Minute,
+		ACEInterval: 30 * time.Second,
+		Window:      200,
+		WithACE:     withACE,
+	}
+}
+
+// DynamicResult is one run's windowed query metrics. When ACE is on, the
+// traffic windows include the amortized optimization overhead, as the
+// paper's Figure 9 does ("the traffic cost includes the overhead needed
+// by each operation in the optimization steps").
+type DynamicResult struct {
+	TrafficWindows  []float64
+	ResponseWindows []float64
+	Queries         int
+	FailedQueries   int // queries whose source found no responder
+	MeanScope       float64
+}
+
+// buildDynamicEnv builds a network with 50% spare dead slots as the
+// churn replacement pool and a bootstrap-joined population of sc.Peers.
+func buildDynamicEnv(seed int64, sc Scale, c int) (*Env, error) {
+	slots := sc.Peers + sc.Peers/2
+	if slots > sc.PhysicalNodes {
+		return nil, fmt.Errorf("experiments: %d slots exceed %d physical nodes", slots, sc.PhysicalNodes)
+	}
+	scSlots := sc
+	scSlots.Peers = slots
+	env, err := BuildEnv(seed, scSlots, float64(c))
+	if err != nil {
+		return nil, err
+	}
+	// BuildEnv wired a static all-alive overlay; rebuild it as a
+	// bootstrap population instead.
+	fresh, err := overlay.NewNetwork(env.Oracle, attachmentsOf(env.Net))
+	if err != nil {
+		return nil, err
+	}
+	if err := churn.BuildPopulation(env.RNG.Derive("population"), fresh, sc.Peers, c); err != nil {
+		return nil, err
+	}
+	env.Net = fresh
+	env.Scale = sc
+	return env, nil
+}
+
+func attachmentsOf(net *overlay.Network) []int {
+	at := make([]int, net.N())
+	for p := range at {
+		at[p] = net.Attachment(overlay.PeerID(p))
+	}
+	return at
+}
+
+// DynamicRun reproduces one curve of Figures 9/10: a churning population
+// issuing Poisson queries, with ACE rounds on a timer when enabled, and
+// the per-query traffic cost and response time collected in windows.
+// Results are averaged over the Scale's seeds (window-aligned).
+func DynamicRun(sc Scale, spec DynamicSpec) (*DynamicResult, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Duration <= 0 || spec.ACEInterval <= 0 || spec.Window < 1 {
+		return nil, fmt.Errorf("experiments: bad dynamic spec %+v", spec)
+	}
+	runs := make([]*DynamicResult, len(sc.Seeds))
+	err := forEach(len(sc.Seeds), func(i int) error {
+		r, err := dynamicRunOne(sc.Seeds[i], sc, spec)
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeDynamicRuns(runs), nil
+}
+
+func dynamicRunOne(seed int64, sc Scale, spec DynamicSpec) (*DynamicResult, error) {
+	env, err := buildDynamicEnv(seed, sc, spec.C)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	model := churn.DefaultModel(spec.C)
+	if spec.LifetimeOverride > 0 {
+		model.MeanLifetime = spec.LifetimeOverride
+		model.StdDevLifetime = spec.LifetimeOverride / 2
+	}
+	driver, err := churn.NewDriver(eng, env.Net, model, env.RNG.Derive("churn"))
+	if err != nil {
+		return nil, err
+	}
+
+	var fwd core.Forwarder = core.BlindFlooding{Net: env.Net}
+	var opt *core.Optimizer
+	if spec.WithACE {
+		opt, err = core.NewOptimizer(env.Net, core.DefaultConfig(spec.Depth))
+		if err != nil {
+			return nil, err
+		}
+		fwd = core.TreeForwarding{Opt: opt}
+		optRNG := env.RNG.Derive("opt")
+		var tick func()
+		tick = func() {
+			opt.Round(optRNG)
+			eng.After(spec.ACEInterval, tick)
+		}
+		eng.After(spec.ACEInterval, tick)
+	}
+
+	qRNG := env.RNG.Derive("queries")
+	var traffic, response []float64
+	var overheadAt []float64
+	var scope metrics.Agg
+	failed := 0
+	driver.OnQuery = func(src overlay.PeerID) {
+		alive := env.Net.AlivePeers()
+		responders := make(map[overlay.PeerID]bool, sc.RespondersPerQuery)
+		for len(responders) < sc.RespondersPerQuery && len(responders) < len(alive) {
+			responders[alive[qRNG.Intn(len(alive))]] = true
+		}
+		r := gnutella.Evaluate(env.Net, fwd, src, sc.TTL, responders)
+		traffic = append(traffic, r.TrafficCost)
+		response = append(response, r.FirstResponse)
+		scope.Add(float64(r.Scope))
+		if math.IsInf(r.FirstResponse, 1) {
+			failed++
+		}
+		if opt != nil {
+			overheadAt = append(overheadAt, opt.TotalOverhead())
+		} else {
+			overheadAt = append(overheadAt, 0)
+		}
+	}
+	driver.Start()
+	eng.RunUntil(spec.Duration)
+
+	res := &DynamicResult{Queries: len(traffic), FailedQueries: failed, MeanScope: scope.Mean()}
+	w := spec.Window
+	for i := 0; i+w <= len(traffic); i += w {
+		var t, rp metrics.Agg
+		for j := i; j < i+w; j++ {
+			t.Add(traffic[j])
+			rp.Add(response[j])
+		}
+		// Amortize the optimization overhead spent during this window
+		// over its queries (Figure 9 includes it).
+		ovh := (overheadAt[i+w-1] - overheadAt[i]) / float64(w)
+		res.TrafficWindows = append(res.TrafficWindows, t.Mean()+ovh)
+		res.ResponseWindows = append(res.ResponseWindows, rp.Mean())
+	}
+	return res, nil
+}
+
+func mergeDynamicRuns(runs []*DynamicResult) *DynamicResult {
+	out := &DynamicResult{}
+	minW := -1
+	for _, r := range runs {
+		out.Queries += r.Queries
+		out.FailedQueries += r.FailedQueries
+		out.MeanScope += r.MeanScope / float64(len(runs))
+		if minW < 0 || len(r.TrafficWindows) < minW {
+			minW = len(r.TrafficWindows)
+		}
+	}
+	for w := 0; w < minW; w++ {
+		var t, rp metrics.Agg
+		for _, r := range runs {
+			t.Add(r.TrafficWindows[w])
+			rp.Add(r.ResponseWindows[w])
+		}
+		out.TrafficWindows = append(out.TrafficWindows, t.Mean())
+		out.ResponseWindows = append(out.ResponseWindows, rp.Mean())
+	}
+	return out
+}
+
+// DynamicFigures runs the Gnutella baseline and the ACE-enabled system
+// under the same spec and renders Figures 9 and 10.
+func DynamicFigures(sc Scale, spec DynamicSpec) (fig9, fig10 report.Figure, base, aced *DynamicResult, err error) {
+	specBase := spec
+	specBase.WithACE = false
+	specACE := spec
+	specACE.WithACE = true
+	results := make([]*DynamicResult, 2)
+	err = forEach(2, func(i int) error {
+		s := specBase
+		if i == 1 {
+			s = specACE
+		}
+		r, err := DynamicRun(sc, s)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return fig9, fig10, nil, nil, err
+	}
+	base, aced = results[0], results[1]
+
+	fig9 = report.Figure{
+		ID: "fig9", Title: "Average traffic cost per query under churn",
+		XLabel: fmt.Sprintf("queries (windows of %d)", spec.Window), YLabel: "traffic cost/query",
+	}
+	fig10 = report.Figure{
+		ID: "fig10", Title: "Average response time per query under churn",
+		XLabel: fmt.Sprintf("queries (windows of %d)", spec.Window), YLabel: "response time (ms)",
+	}
+	addCurve := func(fig *report.Figure, label string, ys []float64) {
+		curve := report.Curve{Label: label}
+		for i, y := range ys {
+			curve.Points = append(curve.Points, report.Point{X: float64(i + 1), Y: y})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	addCurve(&fig9, "Gnutella-like", base.TrafficWindows)
+	addCurve(&fig9, "ACE", aced.TrafficWindows)
+	addCurve(&fig10, "Gnutella-like", base.ResponseWindows)
+	addCurve(&fig10, "ACE", aced.ResponseWindows)
+	return fig9, fig10, base, aced, nil
+}
+
+// CacheComboResult reports the §5.2 combination experiment.
+type CacheComboResult struct {
+	BlindTraffic, ACETraffic, CachedTraffic    float64
+	BlindResponse, ACEResponse, CachedResponse float64
+	CacheHitRate                               float64
+}
+
+// TrafficReduction is the combined scheme's traffic saving vs blind
+// flooding (the paper reports ~75%).
+func (r *CacheComboResult) TrafficReduction() float64 {
+	return metrics.Reduction(r.BlindTraffic, r.CachedTraffic)
+}
+
+// ResponseReduction is the combined scheme's response-time saving vs
+// blind flooding (the paper reports ~70%).
+func (r *CacheComboResult) ResponseReduction() float64 {
+	return metrics.Reduction(r.BlindResponse, r.CachedResponse)
+}
+
+// CacheCombo reproduces the §5.2 claim: ACE plus a per-peer response
+// index cache, exercised by a Zipf keyword workload on a converged
+// static topology, against plain blind flooding and plain ACE.
+func CacheCombo(sc Scale, c, h, cacheSize, keywords, nQueries int, zipfS float64) (*CacheComboResult, error) {
+	env, err := BuildEnv(sc.Seeds[0], sc, float64(c))
+	if err != nil {
+		return nil, err
+	}
+	opt, err := core.NewOptimizer(env.Net, core.DefaultConfig(h))
+	if err != nil {
+		return nil, err
+	}
+	optRNG := env.RNG.Derive("opt")
+	for k := 0; k < 12; k++ {
+		opt.Round(optRNG)
+	}
+
+	// Object placement: every keyword is held by RespondersPerQuery
+	// random peers.
+	placeRNG := env.RNG.Derive("placement")
+	alive := env.Net.AlivePeers()
+	holders := make(map[int]map[overlay.PeerID]bool, keywords)
+	for kw := 0; kw < keywords; kw++ {
+		m := make(map[overlay.PeerID]bool, sc.RespondersPerQuery)
+		for len(m) < sc.RespondersPerQuery {
+			m[alive[placeRNG.Intn(len(alive))]] = true
+		}
+		holders[kw] = m
+	}
+	holds := func(p overlay.PeerID, kw int) bool { return holders[kw][p] }
+
+	qRNG := env.RNG.Derive("workload")
+	zipf := sim.NewZipf(qRNG.Derive("zipf"), keywords, zipfS)
+	store := cache.NewStore(cacheSize)
+	blindFwd := core.BlindFlooding{Net: env.Net}
+	aceFwd := core.TreeForwarding{Opt: opt}
+
+	warmup := nQueries / 5
+	var res CacheComboResult
+	var bt, at, ct, br, ar, cr metrics.Agg
+	hits, measured := 0, 0
+	for i := 0; i < nQueries; i++ {
+		src := alive[qRNG.Intn(len(alive))]
+		kw := zipf.Draw()
+		respSet := holders[kw]
+
+		rc := cache.Evaluate(env.Net, aceFwd, src, sc.TTL, kw, holds, store)
+		if i < warmup {
+			continue // cache warm-up; steady state is what §5.2 reports
+		}
+		rb := gnutella.Evaluate(env.Net, blindFwd, src, sc.TTL, respSet)
+		ra := gnutella.Evaluate(env.Net, aceFwd, src, sc.TTL, respSet)
+		bt.Add(rb.TrafficCost)
+		at.Add(ra.TrafficCost)
+		ct.Add(rc.TrafficCost)
+		br.Add(rb.FirstResponse)
+		ar.Add(ra.FirstResponse)
+		cr.Add(rc.FirstResponse)
+		hits += rc.CacheHits
+		measured++
+	}
+	res.BlindTraffic, res.ACETraffic, res.CachedTraffic = bt.Mean(), at.Mean(), ct.Mean()
+	res.BlindResponse, res.ACEResponse, res.CachedResponse = br.Mean(), ar.Mean(), cr.Mean()
+	if measured > 0 {
+		res.CacheHitRate = float64(hits) / float64(measured)
+	}
+	return &res, nil
+}

@@ -1,0 +1,202 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5), all built on the same environment plumbing:
+// a BA physical topology, a random logical overlay on top of it, the ACE
+// optimizer, and query measurement via the closed-form evaluator.
+//
+// Every driver is deterministic given a Scale (which carries the seeds)
+// and returns report.Figure / report.Table values; cmd/figures renders
+// them at paper scale and bench_test.go at laptop scale.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ace/internal/core"
+	"ace/internal/gnutella"
+	"ace/internal/metrics"
+	"ace/internal/overlay"
+	"ace/internal/physical"
+	"ace/internal/sim"
+	"ace/internal/topology"
+)
+
+// Scale sets the size of every experiment. The paper simulates 10
+// physical topologies of 10,000 nodes with logical topologies of several
+// thousand peers; Bench shrinks that to laptop size while preserving
+// every curve's shape.
+type Scale struct {
+	// PhysicalNodes is the size of each generated physical topology.
+	PhysicalNodes int
+	// Peers is the logical overlay population.
+	Peers int
+	// Seeds lists the topology seeds to average over (the paper uses 10
+	// independent physical topologies).
+	Seeds []int64
+	// QueriesPerPoint is how many random query sources are averaged for
+	// each measured point.
+	QueriesPerPoint int
+	// TTL bounds each query flood. The static figures use a TTL large
+	// enough to cover every peer ("the search scope is all peers").
+	TTL int
+	// RespondersPerQuery is how many random peers hold each query's
+	// object (sets the response-time distribution).
+	RespondersPerQuery int
+}
+
+// BenchScale is the laptop-size preset used by `go test -bench`.
+var BenchScale = Scale{
+	PhysicalNodes:      1200,
+	Peers:              400,
+	Seeds:              []int64{1},
+	QueriesPerPoint:    40,
+	TTL:                1 << 20,
+	RespondersPerQuery: 4,
+}
+
+// MediumScale is the default for cmd/figures.
+var MediumScale = Scale{
+	PhysicalNodes:      4000,
+	Peers:              2000,
+	Seeds:              []int64{1, 2, 3},
+	QueriesPerPoint:    60,
+	TTL:                1 << 20,
+	RespondersPerQuery: 20,
+}
+
+// PaperScale matches the paper's §4.1 setup (slow: minutes per figure).
+var PaperScale = Scale{
+	PhysicalNodes:      10000,
+	Peers:              8000,
+	Seeds:              []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+	QueriesPerPoint:    100,
+	TTL:                1 << 20,
+	RespondersPerQuery: 80,
+}
+
+func (s Scale) validate() error {
+	if s.PhysicalNodes < 4 || s.Peers < 4 || s.Peers > s.PhysicalNodes {
+		return fmt.Errorf("experiments: bad sizes phys=%d peers=%d", s.PhysicalNodes, s.Peers)
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("experiments: no seeds")
+	}
+	if s.QueriesPerPoint < 1 || s.TTL < 1 || s.RespondersPerQuery < 1 {
+		return fmt.Errorf("experiments: bad sampling parameters")
+	}
+	return nil
+}
+
+// Env is one built simulation environment.
+type Env struct {
+	Seed   int64
+	Scale  Scale
+	Phys   *topology.Physical
+	Oracle *physical.Oracle
+	Net    *overlay.Network
+	RNG    *sim.RNG
+}
+
+// BuildEnv generates the physical topology, attaches peers, and wires a
+// random overlay with average degree c — §4.1's setup for one seed.
+func BuildEnv(seed int64, sc Scale, c float64) (*Env, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(seed)
+	phys, err := topology.GenerateBA(rng.Derive("phys"), topology.DefaultBASpec(sc.PhysicalNodes))
+	if err != nil {
+		return nil, err
+	}
+	oracle := physical.NewOracle(phys.Graph, 0)
+	attach, err := overlay.RandomAttachments(rng.Derive("attach"), sc.PhysicalNodes, sc.Peers)
+	if err != nil {
+		return nil, err
+	}
+	net, err := overlay.NewNetwork(oracle, attach)
+	if err != nil {
+		return nil, err
+	}
+	if err := overlay.GenerateSmallWorld(rng.Derive("overlay"), net, int(c+0.5), TriadProb); err != nil {
+		return nil, err
+	}
+	return &Env{Seed: seed, Scale: sc, Phys: phys, Oracle: oracle, Net: net, RNG: rng}, nil
+}
+
+// TriadProb is the triad-formation probability used for generated
+// logical topologies, tuned so the overlay clustering coefficient lands
+// in the small-world band measured on Gnutella (≈0.1–0.3).
+const TriadProb = 0.6
+
+// QuerySample aggregates the three §4.2 QoS metrics over a batch of
+// queries.
+type QuerySample struct {
+	Traffic  metrics.Agg // traffic cost per query
+	Response metrics.Agg // first-response time per query (finite only)
+	Scope    metrics.Agg // peers reached per query
+}
+
+// MeasureQueries evaluates n queries from random live sources with the
+// given forwarder, each with RespondersPerQuery random responders. The
+// label decorrelates this call's randomness from other measurements on
+// the same environment.
+func (e *Env) MeasureQueries(fwd core.Forwarder, n int, label string) QuerySample {
+	rng := e.RNG.Derive("queries/" + label)
+	alive := e.Net.AlivePeers()
+	var s QuerySample
+	if len(alive) == 0 {
+		return s
+	}
+	for i := 0; i < n; i++ {
+		src := alive[rng.Intn(len(alive))]
+		responders := make(map[overlay.PeerID]bool, e.Scale.RespondersPerQuery)
+		for len(responders) < e.Scale.RespondersPerQuery {
+			responders[alive[rng.Intn(len(alive))]] = true
+		}
+		r := gnutella.Evaluate(e.Net, fwd, src, e.Scale.TTL, responders)
+		s.Traffic.Add(r.TrafficCost)
+		s.Response.Add(r.FirstResponse)
+		s.Scope.Add(float64(r.Scope))
+	}
+	return s
+}
+
+// forEach runs fn over the items with a bounded worker pool. Results
+// must be written into per-index slots by fn; forEach returns the first
+// error.
+func forEach(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := fn(i); err != nil {
+					errCh <- err
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ace/internal/core"
+	"ace/internal/metrics"
+	"ace/internal/report"
+)
+
+// ConvergenceResult holds Figures 7 and 8: the three QoS metrics after
+// each ACE optimization step in a static network, per average-degree C,
+// averaged over the Scale's seeds. Index 0 is the blind-flooding
+// baseline (no ACE).
+type ConvergenceResult struct {
+	Cs    []int
+	Steps int
+	// Traffic[c][k], Response[c][k], Scope[c][k]: mean metric after k
+	// ACE steps for average degree c.
+	Traffic  map[int][]float64
+	Response map[int][]float64
+	Scope    map[int][]float64
+}
+
+// StaticConvergence reproduces §5.1: run ACE step by step on a static
+// overlay and measure the traffic cost (Figure 7) and response time
+// (Figure 8) of full-scope queries after each step.
+func StaticConvergence(sc Scale, cs []int, steps, h int, policy core.Policy) (*ConvergenceResult, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("experiments: steps %d, need >= 1", steps)
+	}
+	res := &ConvergenceResult{
+		Cs:       append([]int(nil), cs...),
+		Steps:    steps,
+		Traffic:  make(map[int][]float64, len(cs)),
+		Response: make(map[int][]float64, len(cs)),
+		Scope:    make(map[int][]float64, len(cs)),
+	}
+
+	type cell struct{ c, seedIdx int }
+	cells := make([]cell, 0, len(cs)*len(sc.Seeds))
+	for _, c := range cs {
+		for si := range sc.Seeds {
+			cells = append(cells, cell{c: c, seedIdx: si})
+		}
+	}
+	type cellOut struct {
+		traffic, response, scope []float64
+	}
+	outs := make([]cellOut, len(cells))
+
+	err := forEach(len(cells), func(i int) error {
+		cl := cells[i]
+		env, err := BuildEnv(sc.Seeds[cl.seedIdx], sc, float64(cl.c))
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(h)
+		cfg.Policy = policy
+		opt, err := core.NewOptimizer(env.Net, cfg)
+		if err != nil {
+			return err
+		}
+		out := cellOut{
+			traffic:  make([]float64, steps+1),
+			response: make([]float64, steps+1),
+			scope:    make([]float64, steps+1),
+		}
+		blind := env.MeasureQueries(core.BlindFlooding{Net: env.Net}, sc.QueriesPerPoint, "step0")
+		out.traffic[0] = blind.Traffic.Mean()
+		out.response[0] = blind.Response.Mean()
+		out.scope[0] = blind.Scope.Mean()
+
+		optRNG := env.RNG.Derive("opt")
+		fwd := core.TreeForwarding{Opt: opt}
+		for k := 1; k <= steps; k++ {
+			opt.Round(optRNG)
+			// Measure at the exchange-cycle boundary: trees reflect the
+			// round's rewiring, as in the paper's steady-state points.
+			opt.RebuildTrees()
+			s := env.MeasureQueries(fwd, sc.QueriesPerPoint, fmt.Sprintf("step%d", k))
+			out.traffic[k] = s.Traffic.Mean()
+			out.response[k] = s.Response.Mean()
+			out.scope[k] = s.Scope.Mean()
+		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Average cells per C, in deterministic order.
+	for _, c := range cs {
+		tr := make([]float64, steps+1)
+		rs := make([]float64, steps+1)
+		sp := make([]float64, steps+1)
+		for k := 0; k <= steps; k++ {
+			var at, ar, as metrics.Agg
+			for i, cl := range cells {
+				if cl.c == c {
+					at.Add(outs[i].traffic[k])
+					ar.Add(outs[i].response[k])
+					as.Add(outs[i].scope[k])
+				}
+			}
+			tr[k], rs[k], sp[k] = at.Mean(), ar.Mean(), as.Mean()
+		}
+		res.Traffic[c] = tr
+		res.Response[c] = rs
+		res.Scope[c] = sp
+	}
+	return res, nil
+}
+
+// TrafficFigure renders Figure 7 (traffic cost per query vs optimization
+// step, one curve per average degree).
+func (r *ConvergenceResult) TrafficFigure() report.Figure {
+	return r.figure("fig7", "Traffic cost per query vs optimization step", "traffic cost/query", r.Traffic)
+}
+
+// ResponseFigure renders Figure 8 (average response time vs step).
+func (r *ConvergenceResult) ResponseFigure() report.Figure {
+	return r.figure("fig8", "Average response time vs optimization step", "response time (ms)", r.Response)
+}
+
+// ScopeFigure renders the scope-retention check backing the paper's
+// "without shrinking the search scope" claim.
+func (r *ConvergenceResult) ScopeFigure() report.Figure {
+	return r.figure("scope", "Search scope vs optimization step", "peers reached", r.Scope)
+}
+
+func (r *ConvergenceResult) figure(id, title, ylabel string, data map[int][]float64) report.Figure {
+	fig := report.Figure{ID: id, Title: title, XLabel: "optimization step", YLabel: ylabel}
+	for _, c := range r.Cs {
+		curve := report.Curve{Label: fmt.Sprintf("C=%d", c)}
+		for k, v := range data[c] {
+			curve.Points = append(curve.Points, report.Point{X: float64(k), Y: v})
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig
+}
+
+// Reduction reports the relative traffic reduction for degree c after
+// the final step — the paper's headline "about 50%".
+func (r *ConvergenceResult) Reduction(c int) float64 {
+	tr := r.Traffic[c]
+	if len(tr) == 0 {
+		return 0
+	}
+	return metrics.Reduction(tr[0], tr[len(tr)-1])
+}
+
+// ResponseReduction reports the relative response-time reduction for
+// degree c after the final step — the paper's "about 35%".
+func (r *ConvergenceResult) ResponseReduction(c int) float64 {
+	rs := r.Response[c]
+	if len(rs) == 0 {
+		return 0
+	}
+	return metrics.Reduction(rs[0], rs[len(rs)-1])
+}
+
+// PolicyAblation compares the §6 replacement policies on the same
+// topology: one convergence run per policy at fixed C and h.
+func PolicyAblation(sc Scale, c, steps, h int) (report.Figure, *report.Table, error) {
+	policies := []core.Policy{core.PolicyRandom, core.PolicyNaive, core.PolicyClosest}
+	fig := report.Figure{
+		ID:     "policy",
+		Title:  fmt.Sprintf("Replacement policy ablation (C=%d, h=%d)", c, h),
+		XLabel: "optimization step",
+		YLabel: "traffic cost/query",
+	}
+	tbl := &report.Table{
+		ID:    "policy",
+		Title: "Final traffic reduction and probe counts per policy",
+		Cols:  []string{"policy", "traffic reduction", "response reduction"},
+	}
+	results := make([]*ConvergenceResult, len(policies))
+	err := forEach(len(policies), func(i int) error {
+		r, err := StaticConvergence(sc, []int{c}, steps, h, policies[i])
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return fig, nil, err
+	}
+	for i, p := range policies {
+		r := results[i]
+		curve := report.Curve{Label: p.String()}
+		for k, v := range r.Traffic[c] {
+			curve.Points = append(curve.Points, report.Point{X: float64(k), Y: v})
+		}
+		fig.Curves = append(fig.Curves, curve)
+		tbl.AddRow(p.String(),
+			fmt.Sprintf("%.1f%%", 100*r.Reduction(c)),
+			fmt.Sprintf("%.1f%%", 100*r.ResponseReduction(c)))
+	}
+	return fig, tbl, nil
+}

@@ -1,0 +1,181 @@
+package gnutella
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"ace/internal/core"
+	"ace/internal/overlay"
+)
+
+// QueryResult summarizes one query flood, in the paper's §4.2 metrics.
+type QueryResult struct {
+	// Scope is the number of peers the query reached, including the
+	// source (the paper's search scope).
+	Scope int
+	// TrafficCost is the sum over every transmission of the physical
+	// delay of the logical link it crossed — the paper's traffic cost.
+	TrafficCost float64
+	// Transmissions counts individual message sends.
+	Transmissions int
+	// Duplicates counts messages that arrived at an already-visited
+	// peer — the pure waste blind flooding generates.
+	Duplicates int
+	// FirstResponse is the time in milliseconds until the source
+	// receives the first QueryHit (responses travel the inverse query
+	// path), +Inf when no responder was reached. The source responding
+	// itself yields 0.
+	FirstResponse float64
+	// Arrival maps each reached peer to its arrival time in
+	// milliseconds.
+	Arrival map[overlay.PeerID]float64
+}
+
+type inflight struct {
+	at      time.Duration
+	seq     uint64
+	to      overlay.PeerID
+	from    overlay.PeerID
+	serving overlay.PeerID
+	adj     core.TreeAdj
+	covered *core.CoveredSet
+	ttl     int
+}
+
+type inflightHeap []inflight
+
+func (h inflightHeap) Len() int { return len(h) }
+func (h inflightHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h inflightHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *inflightHeap) Push(x any)   { *h = append(*h, x.(inflight)) }
+func (h *inflightHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+const msPerDur = float64(time.Millisecond)
+
+// treeKey packs a (peer, tree) pair for the per-tree continuation dedup.
+func treeKey(p, tree overlay.PeerID) uint64 {
+	return uint64(uint32(p))<<32 | uint64(uint32(tree))
+}
+
+// Evaluate propagates one query from src with the given forwarder and
+// TTL, and returns the paper's per-query metrics. responders marks the
+// peers holding the requested object (may be nil). The propagation is
+// timed: each hop takes the physical delay of the link, a peer forwards
+// only the first copy it receives (GUID dedup), and later copies count
+// as duplicate traffic.
+func Evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl int, responders map[overlay.PeerID]bool) QueryResult {
+	res, _ := evaluate(net, fwd, src, ttl, responders, false)
+	return res
+}
+
+// Hop records one query transmission for walkthrough rendering.
+type Hop struct {
+	From, To overlay.PeerID
+	Cost     float64
+	SentAt   float64 // ms, when the sender forwarded
+}
+
+// EvaluateTrace is Evaluate plus the ordered list of transmissions — the
+// raw material of the paper's Table 1/Table 2 walkthroughs.
+func EvaluateTrace(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl int, responders map[overlay.PeerID]bool) (QueryResult, []Hop) {
+	return evaluate(net, fwd, src, ttl, responders, true)
+}
+
+func evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl int, responders map[overlay.PeerID]bool, trace bool) (QueryResult, []Hop) {
+	var hops []Hop
+	res := QueryResult{
+		Arrival:       map[overlay.PeerID]float64{src: 0},
+		FirstResponse: math.Inf(1),
+	}
+	if !net.Alive(src) {
+		res.Arrival = nil
+		return res, nil
+	}
+	res.Scope = 1
+	if responders[src] {
+		res.FirstResponse = 0
+	}
+	back := map[overlay.PeerID]overlay.PeerID{}
+	// returnTime walks the inverse query path (the Gnutella QueryHit
+	// route) from p back to the source, summing the hop delays.
+	returnTime := func(p overlay.PeerID) float64 {
+		total := 0.0
+		for p != src {
+			prev, ok := back[p]
+			if !ok {
+				return math.Inf(1)
+			}
+			total += net.Cost(p, prev)
+			p = prev
+		}
+		return total
+	}
+
+	var q inflightHeap
+	var seq uint64
+	// served dedups tree continuations: peer p forwards tree T at most
+	// once (key p<<32|T).
+	served := map[uint64]bool{}
+	send := func(at time.Duration, from overlay.PeerID, s core.Send, ttl int) {
+		c := net.Cost(from, s.To)
+		res.TrafficCost += c
+		res.Transmissions++
+		if trace {
+			hops = append(hops, Hop{From: from, To: s.To, Cost: c, SentAt: float64(at) / msPerDur})
+		}
+		heap.Push(&q, inflight{at: at + delayDur(c), seq: seq, to: s.To, from: from, serving: s.Tree, adj: s.Adj, covered: s.Covered, ttl: ttl})
+		seq++
+	}
+	emit := func(at time.Duration, p overlay.PeerID, sends []core.Send, ttl int) {
+		for _, s := range sends {
+			if s.Tree != core.NoTree && served[treeKey(p, s.Tree)] {
+				continue
+			}
+			send(at, p, s, ttl)
+		}
+		for _, s := range sends {
+			if s.Tree != core.NoTree {
+				served[treeKey(p, s.Tree)] = true
+			}
+		}
+	}
+
+	if ttl > 0 {
+		emit(0, src, fwd.Forward(src, src, -1, core.NoTree, nil, nil, true), ttl-1)
+	}
+	for len(q) > 0 {
+		m := heap.Pop(&q).(inflight)
+		_, seen := res.Arrival[m.to]
+		if seen {
+			res.Duplicates++
+		} else {
+			res.Arrival[m.to] = float64(m.at) / msPerDur
+			res.Scope++
+			back[m.to] = m.from
+			if responders[m.to] {
+				// A QueryHit returns along the inverse query path (the
+				// Gnutella response rule): arrival plus the back-walk.
+				if rt := float64(m.at)/msPerDur + returnTime(m.to); rt < res.FirstResponse {
+					res.FirstResponse = rt
+				}
+			}
+		}
+		if m.ttl <= 0 {
+			continue
+		}
+		emit(m.at, m.to, fwd.Forward(src, m.to, m.from, m.serving, m.adj, m.covered, !seen), m.ttl-1)
+	}
+	return res, hops
+}

@@ -1,0 +1,361 @@
+package gnutella
+
+import (
+	"math"
+	"testing"
+
+	"ace/internal/core"
+	"ace/internal/graph"
+	"ace/internal/overlay"
+	"ace/internal/physical"
+	"ace/internal/sim"
+	"ace/internal/topology"
+)
+
+// lineNet attaches peers to a physical line so Cost(p,q) =
+// |attach(p)−attach(q)|.
+func lineNet(t *testing.T, attach []int) *overlay.Network {
+	t.Helper()
+	maxNode := 0
+	for _, a := range attach {
+		if a > maxNode {
+			maxNode = a
+		}
+	}
+	g := graph.New(maxNode + 1)
+	for i := 0; i < maxNode; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	net, err := overlay.NewNetwork(physical.NewOracle(g, 0), attach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(0)
+	for p := 0; p < net.N(); p++ {
+		net.Join(rng, overlay.PeerID(p), 0)
+	}
+	return net
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for m, want := range map[MsgType]string{
+		MsgPing: "ping", MsgPong: "pong", MsgQuery: "query",
+		MsgQueryHit: "queryhit", MsgCostTable: "costtable", MsgType(77): "msgtype(77)",
+	} {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestEvaluateChain(t *testing.T) {
+	// Overlay chain 0-1-2-3 on positions 0,1,2,3: every hop costs 1.
+	net := lineNet(t, []int{0, 1, 2, 3})
+	net.Connect(0, 1)
+	net.Connect(1, 2)
+	net.Connect(2, 3)
+	fwd := core.BlindFlooding{Net: net}
+	res := Evaluate(net, fwd, 0, DefaultTTL, nil)
+	if res.Scope != 4 {
+		t.Fatalf("Scope = %d, want 4", res.Scope)
+	}
+	if res.TrafficCost != 3 || res.Transmissions != 3 || res.Duplicates != 0 {
+		t.Fatalf("chain flood: %+v", res)
+	}
+	if res.Arrival[3] != 3 {
+		t.Fatalf("arrival[3] = %v, want 3", res.Arrival[3])
+	}
+	if !math.IsInf(res.FirstResponse, 1) {
+		t.Fatal("no responders → FirstResponse must be +Inf")
+	}
+}
+
+func TestEvaluateTTL(t *testing.T) {
+	net := lineNet(t, []int{0, 1, 2, 3})
+	net.Connect(0, 1)
+	net.Connect(1, 2)
+	net.Connect(2, 3)
+	fwd := core.BlindFlooding{Net: net}
+	res := Evaluate(net, fwd, 0, 2, nil)
+	if res.Scope != 3 {
+		t.Fatalf("TTL=2 Scope = %d, want 3", res.Scope)
+	}
+	res = Evaluate(net, fwd, 0, 0, nil)
+	if res.Scope != 1 || res.Transmissions != 0 {
+		t.Fatalf("TTL=0: %+v", res)
+	}
+}
+
+// trianglePlus is the paper's Figure-1 style redundancy: E—L, E—M, L—M.
+// After E floods, L and M forward to each other — two pure duplicates.
+func TestEvaluateDuplicatesOnTriangle(t *testing.T) {
+	net := lineNet(t, []int{0, 5, 10})
+	net.Connect(0, 1)
+	net.Connect(0, 2)
+	net.Connect(1, 2)
+	fwd := core.BlindFlooding{Net: net}
+	res := Evaluate(net, fwd, 0, DefaultTTL, nil)
+	if res.Scope != 3 {
+		t.Fatalf("Scope = %d, want 3", res.Scope)
+	}
+	if res.Duplicates != 2 {
+		t.Fatalf("Duplicates = %d, want 2 (L↔M cross-forwards)", res.Duplicates)
+	}
+	// Traffic: 0→1 (5), 0→2 (10), 1→2 (5), 2→1 (5) = 25.
+	if res.TrafficCost != 25 {
+		t.Fatalf("TrafficCost = %v, want 25", res.TrafficCost)
+	}
+}
+
+func TestEvaluateResponders(t *testing.T) {
+	net := lineNet(t, []int{0, 1, 2, 3})
+	net.Connect(0, 1)
+	net.Connect(1, 2)
+	net.Connect(2, 3)
+	fwd := core.BlindFlooding{Net: net}
+	res := Evaluate(net, fwd, 0, DefaultTTL, map[overlay.PeerID]bool{2: true, 3: true})
+	if res.FirstResponse != 4 { // nearest responder at arrival 2, ×2
+		t.Fatalf("FirstResponse = %v, want 4", res.FirstResponse)
+	}
+	res = Evaluate(net, fwd, 0, DefaultTTL, map[overlay.PeerID]bool{0: true})
+	if res.FirstResponse != 0 {
+		t.Fatalf("source-held object: FirstResponse = %v, want 0", res.FirstResponse)
+	}
+}
+
+func TestEvaluateDeadSource(t *testing.T) {
+	net := lineNet(t, []int{0, 1})
+	net.Connect(0, 1)
+	net.Leave(0)
+	res := Evaluate(net, core.BlindFlooding{Net: net}, 0, DefaultTTL, nil)
+	if res.Scope != 0 || res.Transmissions != 0 {
+		t.Fatalf("dead source: %+v", res)
+	}
+}
+
+// buildACENet returns a random network plus an optimizer that has run
+// the given number of ACE rounds.
+func buildACENet(t *testing.T, seed int64, peers int, avgDeg float64, h, rounds int) (*overlay.Network, *core.Optimizer) {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	phys, err := topology.GenerateBA(rng.Derive("phys"), topology.DefaultBASpec(peers*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach, err := overlay.RandomAttachments(rng.Derive("at"), peers*2, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := overlay.NewNetwork(physical.NewOracle(phys.Graph, 0), attach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := overlay.GenerateRandom(rng.Derive("gen"), net, avgDeg); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.NewOptimizer(net, core.DefaultConfig(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRNG := rng.Derive("opt")
+	for i := 0; i < rounds; i++ {
+		opt.Round(optRNG)
+	}
+	if rounds == 0 {
+		opt.RebuildTrees()
+	}
+	return net, opt
+}
+
+func TestTreeForwardingCutsTrafficKeepsScope(t *testing.T) {
+	net, opt := buildACENet(t, 61, 200, 8, 1, 0)
+	rng := sim.NewRNG(62)
+	var blindCost, treeCost float64
+	var blindScope, treeScope int
+	for i := 0; i < 30; i++ {
+		src := overlay.PeerID(rng.Intn(net.N()))
+		b := Evaluate(net, core.BlindFlooding{Net: net}, src, 64, nil)
+		a := Evaluate(net, core.TreeForwarding{Opt: opt}, src, 64, nil)
+		blindCost += b.TrafficCost
+		treeCost += a.TrafficCost
+		blindScope += b.Scope
+		treeScope += a.Scope
+	}
+	if treeCost >= blindCost {
+		t.Fatalf("tree traffic %v not below blind %v", treeCost, blindCost)
+	}
+	// The paper's Phase 2 claim: scope is retained. Require ≥ 99%.
+	if float64(treeScope) < 0.99*float64(blindScope) {
+		t.Fatalf("tree scope %d lost >1%% vs blind %d", treeScope, blindScope)
+	}
+}
+
+func TestEngineMatchesEvaluateProperty(t *testing.T) {
+	// The closed-form evaluator and the message-level engine must agree
+	// exactly on static networks, for both forwarders.
+	for _, seed := range []int64{71, 72, 73} {
+		net, opt := buildACENet(t, seed, 120, 6, 2, 3)
+		forwarders := map[string]core.Forwarder{
+			"blind": core.BlindFlooding{Net: net},
+			"tree":  core.TreeForwarding{Opt: opt},
+		}
+		rng := sim.NewRNG(seed * 100)
+		for name, fwd := range forwarders {
+			for i := 0; i < 10; i++ {
+				src := overlay.PeerID(rng.Intn(net.N()))
+				responders := map[overlay.PeerID]bool{
+					overlay.PeerID(rng.Intn(net.N())): true,
+					overlay.PeerID(rng.Intn(net.N())): true,
+				}
+				want := Evaluate(net, fwd, src, DefaultTTL, responders)
+
+				s := sim.NewEngine()
+				eng := NewEngine(s, net, fwd)
+				qs := eng.InjectQuery(src, DefaultTTL, 0, func(p overlay.PeerID, _ int) bool { return responders[p] })
+				s.Run()
+
+				if qs.Scope != want.Scope {
+					t.Fatalf("%s seed=%d: scope %d vs %d", name, seed, qs.Scope, want.Scope)
+				}
+				if qs.Transmissions != want.Transmissions || qs.Duplicates != want.Duplicates {
+					t.Fatalf("%s seed=%d: tx/dup %d/%d vs %d/%d", name, seed,
+						qs.Transmissions, qs.Duplicates, want.Transmissions, want.Duplicates)
+				}
+				if math.Abs(qs.TrafficCost-want.TrafficCost) > 1e-6 {
+					t.Fatalf("%s seed=%d: traffic %v vs %v", name, seed, qs.TrafficCost, want.TrafficCost)
+				}
+				switch {
+				case math.IsInf(want.FirstResponse, 1):
+					if !math.IsInf(qs.FirstResponse, 1) {
+						t.Fatalf("%s seed=%d: engine found response %v, evaluate did not", name, seed, qs.FirstResponse)
+					}
+				case math.Abs(qs.FirstResponse-want.FirstResponse) > 1e-3:
+					t.Fatalf("%s seed=%d: response %v vs %v", name, seed, qs.FirstResponse, want.FirstResponse)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineDropsToDeadPeers(t *testing.T) {
+	net := lineNet(t, []int{0, 100, 200})
+	net.Connect(0, 1)
+	net.Connect(1, 2)
+	s := sim.NewEngine()
+	eng := NewEngine(s, net, core.BlindFlooding{Net: net})
+	qs := eng.InjectQuery(0, DefaultTTL, 0, nil)
+	// Kill peer 1 while the first message is still in flight (delay 100ms).
+	s.At(delayDur(50), func() { net.Leave(1) })
+	s.Run()
+	if qs.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", qs.Dropped)
+	}
+	if qs.Scope != 1 {
+		t.Fatalf("Scope = %d, want 1 (flood severed)", qs.Scope)
+	}
+}
+
+func TestEngineResponseLostOnPathBreak(t *testing.T) {
+	// 0—1—2, responder at 2. Relay 1 dies after the query passes but
+	// before the hit returns: the hit must be lost.
+	net := lineNet(t, []int{0, 10, 20})
+	net.Connect(0, 1)
+	net.Connect(1, 2)
+	s := sim.NewEngine()
+	eng := NewEngine(s, net, core.BlindFlooding{Net: net})
+	qs := eng.InjectQuery(0, DefaultTTL, 0, func(p overlay.PeerID, _ int) bool { return p == 2 })
+	s.At(delayDur(25), func() { net.Leave(1) }) // query reaches 2 at t=20
+	s.Run()
+	if !math.IsInf(qs.FirstResponse, 1) {
+		t.Fatalf("FirstResponse = %v, want lost (+Inf)", qs.FirstResponse)
+	}
+	if qs.Responses != 0 {
+		t.Fatalf("Responses = %d, want 0", qs.Responses)
+	}
+}
+
+func TestEngineHorizonCleansUp(t *testing.T) {
+	net := lineNet(t, []int{0, 1})
+	net.Connect(0, 1)
+	s := sim.NewEngine()
+	eng := NewEngine(s, net, core.BlindFlooding{Net: net})
+	eng.Horizon = delayDur(1000)
+	eng.InjectQuery(0, DefaultTTL, 0, nil)
+	if len(eng.Queries()) != 1 {
+		t.Fatal("query not registered")
+	}
+	s.Run()
+	if len(eng.Queries()) != 0 {
+		t.Fatal("query state not reaped after horizon")
+	}
+}
+
+func TestPingRoundRefreshesHostCache(t *testing.T) {
+	net := lineNet(t, []int{0, 1, 2, 3})
+	net.Connect(0, 1)
+	net.Connect(1, 2)
+	net.Connect(2, 3)
+	s := sim.NewEngine()
+	eng := NewEngine(s, net, core.BlindFlooding{Net: net})
+	if n := eng.PingRound(0); n != 2 { // neighbor 1 + 1's neighbor 2
+		t.Fatalf("PingRound cached %d addresses, want 2", n)
+	}
+	// Rejoin must prefer the cached addresses {1, 2}.
+	net.Leave(0)
+	net.Join(sim.NewRNG(1), 0, 2)
+	for _, q := range net.Neighbors(0) {
+		if q != 1 && q != 2 {
+			t.Fatalf("rejoined to %d, not a pinged address", q)
+		}
+	}
+	net.Leave(0)
+	if eng.PingRound(0) != 0 {
+		t.Fatal("PingRound on dead peer should cache nothing")
+	}
+}
+
+// TestEngineStatisticsUnderChurn exercises the message-level engine in a
+// churning network and sanity-checks its aggregates against the
+// closed-form evaluator run at the same instants: queries evaluated
+// analytically at issue time must agree closely with the message-level
+// floods, whose only extra effects are peers leaving mid-flight.
+func TestEngineStatisticsUnderChurn(t *testing.T) {
+	net, opt := buildACENet(t, 91, 150, 8, 1, 4)
+	s := sim.NewEngine()
+	fwd := core.TreeForwarding{Opt: opt}
+	eng := NewEngine(s, net, fwd)
+	rng := sim.NewRNG(92)
+
+	var engineTraffic, analyticTraffic float64
+	queries := 0
+	var issue func()
+	issue = func() {
+		if queries >= 40 {
+			return
+		}
+		queries++
+		alive := net.AlivePeers()
+		src := alive[rng.Intn(len(alive))]
+		analytic := Evaluate(net, fwd, src, 64, nil)
+		analyticTraffic += analytic.TrafficCost
+		qs := eng.InjectQuery(src, 64, 0, nil)
+		// Churn one random peer between queries, then re-check.
+		s.After(delayDur(500), func() {
+			engineTraffic += qs.TrafficCost
+			victims := net.AlivePeers()
+			net.Leave(victims[rng.Intn(len(victims))])
+			issue()
+		})
+	}
+	issue()
+	s.Run()
+	if queries != 40 {
+		t.Fatalf("issued %d queries, want 40", queries)
+	}
+	// The engine loses a little traffic to dropped deliveries; the two
+	// totals must stay within 10%.
+	ratio := engineTraffic / analyticTraffic
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("engine traffic %v vs analytic %v (ratio %.3f)", engineTraffic, analyticTraffic, ratio)
+	}
+}

@@ -1,0 +1,125 @@
+package gnutella
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"ace/internal/overlay"
+	"ace/internal/sim"
+)
+
+// HPFSelect picks how partial-flooding hops choose their subset.
+type HPFSelect int
+
+const (
+	// HPFRandom forwards to a uniformly random subset (the ICPP 2003
+	// paper's baseline strategy).
+	HPFRandom HPFSelect = iota + 1
+	// HPFNearest forwards to the physically cheapest neighbors — the
+	// weight-based strategy, which only pays off once the peer knows
+	// its neighbor delays (ACE Phase 1 provides exactly that).
+	HPFNearest
+)
+
+// HybridPeriodicalFlood implements HPF (reference [3], by the paper's
+// authors): query propagation alternates between full flooding and
+// partial flooding by hop index — hops where hop % period == 0 flood to
+// every neighbor, the rest forward to at most fanout neighbors chosen by
+// the selection strategy. It is the §2 "forwarding-based" approach whose
+// gains the paper argues are limited by topology mismatch: every
+// forwarded copy still pays the physical delay of its logical link.
+func HybridPeriodicalFlood(net *overlay.Network, rng *sim.RNG, src overlay.PeerID, ttl, fanout, period int, sel HPFSelect, responders map[overlay.PeerID]bool) QueryResult {
+	res := QueryResult{
+		Arrival:       map[overlay.PeerID]float64{src: 0},
+		FirstResponse: math.Inf(1),
+	}
+	if !net.Alive(src) {
+		res.Arrival = nil
+		return res
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	if period < 1 {
+		period = 1
+	}
+	res.Scope = 1
+	if responders[src] {
+		res.FirstResponse = 0
+	}
+
+	back := map[overlay.PeerID]overlay.PeerID{}
+	returnTime := func(p overlay.PeerID) float64 {
+		total := 0.0
+		for p != src {
+			prev, ok := back[p]
+			if !ok {
+				return math.Inf(1)
+			}
+			total += net.Cost(p, prev)
+			p = prev
+		}
+		return total
+	}
+
+	var q inflightHeap
+	var seq uint64
+	send := func(at float64, from, to overlay.PeerID, hop int) {
+		c := net.Cost(from, to)
+		res.TrafficCost += c
+		res.Transmissions++
+		heap.Push(&q, inflight{at: delayDur(at + c), seq: seq, to: to, from: from, ttl: hop})
+		seq++
+	}
+	forward := func(at float64, p, from overlay.PeerID, hop int) {
+		if hop >= ttl {
+			return
+		}
+		nbrs := net.Neighbors(p)
+		targets := nbrs[:0:0]
+		for _, n := range nbrs {
+			if n != from {
+				targets = append(targets, n)
+			}
+		}
+		if hop%period != 0 && len(targets) > fanout {
+			switch sel {
+			case HPFNearest:
+				sort.Slice(targets, func(i, j int) bool {
+					ci, cj := net.Cost(p, targets[i]), net.Cost(p, targets[j])
+					if ci != cj {
+						return ci < cj
+					}
+					return targets[i] < targets[j]
+				})
+			default:
+				rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+			}
+			targets = targets[:fanout]
+		}
+		for _, n := range targets {
+			send(at, p, n, hop+1)
+		}
+	}
+
+	forward(0, src, -1, 0)
+	for len(q) > 0 {
+		m := heap.Pop(&q).(inflight)
+		atMS := float64(m.at) / msPerDur
+		if _, seen := res.Arrival[m.to]; seen {
+			res.Duplicates++
+			continue
+		}
+		res.Arrival[m.to] = atMS
+		res.Scope++
+		back[m.to] = m.from
+		if responders[m.to] {
+			if rt := atMS + returnTime(m.to); rt < res.FirstResponse {
+				res.FirstResponse = rt
+			}
+		}
+		forward(atMS, m.to, m.from, m.ttl)
+	}
+	return res
+}

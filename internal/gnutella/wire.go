@@ -1,0 +1,90 @@
+package gnutella
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ace/internal/overlay"
+)
+
+// Wire format: a fixed 23-byte descriptor header in the spirit of the
+// Gnutella 0.4 header (16-byte GUID, descriptor id, TTL, hops, payload
+// length) followed by the payload. The simulation engines never touch
+// bytes — they pass Message values — but a library claiming the protocol
+// should serialize it; the trace tooling and any future socket transport
+// share this encoding.
+//
+//	offset  size  field
+//	0       8     GUID (we use 64-bit GUIDs)
+//	8       1     descriptor type (MsgType)
+//	9       1     TTL
+//	10      1     hops
+//	11      4     source peer id
+//	15      4     previous-hop peer id
+//	19      4     payload length N
+//	23      N     payload (keyword as 4 bytes for queries; opaque else)
+const wireHeaderLen = 23
+
+// maxWirePayload bounds decoded payloads, rejecting corrupt lengths.
+const maxWirePayload = 1 << 20
+
+// EncodeMessage serializes m and its payload.
+func EncodeMessage(m Message) []byte {
+	payload := make([]byte, 4)
+	binary.BigEndian.PutUint32(payload, uint32(m.Keyword))
+	buf := make([]byte, wireHeaderLen+len(payload))
+	binary.BigEndian.PutUint64(buf[0:8], uint64(m.GUID))
+	buf[8] = byte(m.Type)
+	buf[9] = clampByte(m.TTL)
+	buf[10] = clampByte(m.Hops)
+	binary.BigEndian.PutUint32(buf[11:15], uint32(int32(m.Src)))
+	binary.BigEndian.PutUint32(buf[15:19], uint32(int32(m.From)))
+	binary.BigEndian.PutUint32(buf[19:23], uint32(len(payload)))
+	copy(buf[wireHeaderLen:], payload)
+	return buf
+}
+
+// DecodeMessage parses one descriptor from buf, returning the message
+// and the number of bytes consumed.
+func DecodeMessage(buf []byte) (Message, int, error) {
+	if len(buf) < wireHeaderLen {
+		return Message{}, 0, fmt.Errorf("gnutella: short header: %d bytes", len(buf))
+	}
+	n := binary.BigEndian.Uint32(buf[19:23])
+	if n > maxWirePayload {
+		return Message{}, 0, fmt.Errorf("gnutella: payload length %d exceeds limit", n)
+	}
+	total := wireHeaderLen + int(n)
+	if len(buf) < total {
+		return Message{}, 0, fmt.Errorf("gnutella: short payload: have %d of %d bytes", len(buf), total)
+	}
+	m := Message{
+		GUID: GUID(binary.BigEndian.Uint64(buf[0:8])),
+		Type: MsgType(buf[8]),
+		TTL:  int(buf[9]),
+		Hops: int(buf[10]),
+		Src:  peerIDFromWire(binary.BigEndian.Uint32(buf[11:15])),
+		From: peerIDFromWire(binary.BigEndian.Uint32(buf[15:19])),
+	}
+	switch m.Type {
+	case MsgPing, MsgPong, MsgQuery, MsgQueryHit, MsgCostTable:
+	default:
+		return Message{}, 0, fmt.Errorf("gnutella: unknown descriptor type %d", buf[8])
+	}
+	if n >= 4 {
+		m.Keyword = int(binary.BigEndian.Uint32(buf[wireHeaderLen : wireHeaderLen+4]))
+	}
+	return m, total, nil
+}
+
+func clampByte(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+func peerIDFromWire(v uint32) overlay.PeerID { return overlay.PeerID(int32(v)) }

@@ -1,0 +1,79 @@
+package gnutella
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ace/internal/overlay"
+)
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(guid uint64, typRaw uint8, ttl, hops uint8, src, from int32, keyword int32) bool {
+		m := Message{
+			GUID: GUID(guid),
+			Type: MsgType(typRaw%5) + MsgPing,
+			TTL:  int(ttl),
+			Hops: int(hops),
+			Src:  overlay.PeerID(src),
+			From: overlay.PeerID(from),
+			// Keyword is carried as 32 bits on the wire.
+			Keyword: int(keyword),
+		}
+		buf := EncodeMessage(m)
+		got, n, err := DecodeMessage(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return got.GUID == m.GUID && got.Type == m.Type &&
+			got.TTL == m.TTL && got.Hops == m.Hops &&
+			got.Src == m.Src && got.From == m.From &&
+			uint32(got.Keyword) == uint32(m.Keyword)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeMessageErrors(t *testing.T) {
+	if _, _, err := DecodeMessage(make([]byte, 5)); err == nil {
+		t.Fatal("short header accepted")
+	}
+	good := EncodeMessage(Message{Type: MsgQuery, TTL: 7, Src: 1, From: 2, Keyword: 9})
+	if _, _, err := DecodeMessage(good[:len(good)-1]); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[8] = 99 // unknown type
+	if _, _, err := DecodeMessage(bad); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	huge := append([]byte(nil), good...)
+	huge[19], huge[20], huge[21], huge[22] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := DecodeMessage(huge); err == nil {
+		t.Fatal("oversized payload length accepted")
+	}
+}
+
+func TestDecodeMessageStream(t *testing.T) {
+	// Two descriptors back to back decode sequentially.
+	a := EncodeMessage(Message{GUID: 1, Type: MsgPing, TTL: 2, Src: 3, From: 4})
+	b := EncodeMessage(Message{GUID: 5, Type: MsgQueryHit, TTL: 6, Src: 7, From: 8, Keyword: 11})
+	stream := append(append([]byte(nil), a...), b...)
+	m1, n1, err := DecodeMessage(stream)
+	if err != nil || m1.GUID != 1 {
+		t.Fatalf("first decode: %v %v", m1, err)
+	}
+	m2, n2, err := DecodeMessage(stream[n1:])
+	if err != nil || m2.GUID != 5 || m2.Keyword != 11 {
+		t.Fatalf("second decode: %v %v", m2, err)
+	}
+	if n1+n2 != len(stream) {
+		t.Fatalf("consumed %d of %d", n1+n2, len(stream))
+	}
+}
+
+func TestClampByte(t *testing.T) {
+	if clampByte(-3) != 0 || clampByte(300) != 255 || clampByte(7) != 7 {
+		t.Fatal("clampByte wrong")
+	}
+}

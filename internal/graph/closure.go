@@ -1,0 +1,86 @@
+package graph
+
+// Neighborhood enumerates nodes reachable from src in at most h hops
+// (unweighted), including src itself, via breadth-first search over an
+// adjacency callback. It is shared by the overlay layer, which stores
+// dynamic neighbor sets outside this package.
+//
+// The callback receives a node and must return its current neighbors.
+// Nodes are returned in BFS discovery order, so index 0 is always src.
+func Neighborhood(src, h int, neighbors func(int) []int) []int {
+	if h < 0 {
+		return nil
+	}
+	seen := map[int]bool{src: true}
+	order := []int{src}
+	frontier := []int{src}
+	for depth := 0; depth < h && len(frontier) > 0; depth++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					order = append(order, v)
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return order
+}
+
+// Components labels each node of g with a component id and returns the
+// labels plus the number of components.
+func Components(g *Graph) (label []int, count int) {
+	n := g.N()
+	label = make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var stack []int
+	for s := 0; s < n; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		label[s] = count
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range g.Neighbors(u) {
+				if label[a.To] == -1 {
+					label[a.To] = count
+					stack = append(stack, a.To)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// GiantComponent returns the node set of the largest connected component.
+func GiantComponent(g *Graph) []int {
+	label, count := Components(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range label {
+		sizes[l]++
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	out := make([]int, 0, sizes[best])
+	for v, l := range label {
+		if l == best {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Inf is the distance reported for unreachable nodes.
+var Inf = math.Inf(1)
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Dijkstra computes single-source shortest paths from src. It returns the
+// distance to every node (Inf when unreachable) and the parent of every
+// node on its shortest path (-1 for src and unreachable nodes).
+func Dijkstra(g *Graph, src int) (dist []float64, parent []int) {
+	n := g.N()
+	dist = make([]float64, n)
+	parent = make([]int, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist, parent
+	}
+	dist[src] = 0
+	q := pq{{node: src}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for _, a := range g.Neighbors(it.node) {
+			if nd := it.dist + a.W; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = it.node
+				heap.Push(&q, pqItem{node: a.To, dist: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// PathTo reconstructs the shortest path src→dst from a Dijkstra parent
+// array. It returns nil when dst is unreachable.
+func PathTo(parent []int, src, dst int) []int {
+	if dst < 0 || dst >= len(parent) {
+		return nil
+	}
+	if src == dst {
+		return []int{src}
+	}
+	if parent[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndAddEdge(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 || g.M() != 0 {
+		t.Fatalf("empty graph N=%d M=%d", g.N(), g.M())
+	}
+	g.AddEdge(0, 1, 2.5)
+	g.AddEdge(1, 2, 1.0)
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge missing a direction")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(-1, 0) {
+		t.Fatal("HasEdge reported a non-edge")
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+}
+
+func TestNewNegativeClamps(t *testing.T) {
+	if New(-3).N() != 0 {
+		t.Fatal("negative n should clamp to 0")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		u, v int
+	}{
+		{"out of range", 0, 9},
+		{"negative", -1, 0},
+		{"self loop", 1, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			New(3).AddEdge(tc.u, tc.v, 1)
+		})
+	}
+}
+
+func TestEdgesEnumeratesOnce(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(3, 2, 2)
+	g.AddEdge(4, 0, 3)
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("Edges len = %d, want 3", len(es))
+	}
+	seen := map[[2]int]float64{}
+	for _, e := range es {
+		if e.U >= e.V {
+			t.Fatalf("edge not normalized: %+v", e)
+		}
+		seen[[2]int{e.U, e.V}] = e.W
+	}
+	if seen[[2]int{0, 1}] != 1 || seen[[2]int{2, 3}] != 2 || seen[[2]int{0, 4}] != 3 {
+		t.Fatalf("edge weights wrong: %v", seen)
+	}
+}
+
+func TestDijkstraLine(t *testing.T) {
+	// 0 -1- 1 -2- 2 -3- 3
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	dist, parent := Dijkstra(g, 0)
+	want := []float64{0, 1, 3, 6}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", dist, want)
+		}
+	}
+	path := PathTo(parent, 0, 3)
+	wantPath := []int{0, 1, 2, 3}
+	if len(path) != len(wantPath) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range path {
+		if path[i] != wantPath[i] {
+			t.Fatalf("path = %v, want %v", path, wantPath)
+		}
+	}
+}
+
+func TestDijkstraPrefersCheaperIndirect(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 2, 10)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	dist, parent := Dijkstra(g, 0)
+	if dist[2] != 3 {
+		t.Fatalf("dist[2] = %v, want 3", dist[2])
+	}
+	if p := PathTo(parent, 0, 2); len(p) != 3 || p[1] != 1 {
+		t.Fatalf("path = %v, want [0 1 2]", p)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	dist, parent := Dijkstra(g, 0)
+	if dist[2] != Inf {
+		t.Fatalf("dist[2] = %v, want Inf", dist[2])
+	}
+	if PathTo(parent, 0, 2) != nil {
+		t.Fatal("PathTo to unreachable node should be nil")
+	}
+}
+
+func TestDijkstraBadSource(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	dist, _ := Dijkstra(g, -1)
+	if dist[0] != Inf || dist[1] != Inf {
+		t.Fatal("out-of-range source should reach nothing")
+	}
+}
+
+func TestPathToSelf(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	_, parent := Dijkstra(g, 0)
+	if p := PathTo(parent, 0, 0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("self path = %v, want [0]", p)
+	}
+}
+
+// bellmanFord is an independent reference implementation for the property
+// test below.
+func bellmanFord(g *Graph, src int) []float64 {
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	for i := 0; i < g.N(); i++ {
+		changed := false
+		for _, e := range g.Edges() {
+			if dist[e.U]+e.W < dist[e.V] {
+				dist[e.V] = dist[e.U] + e.W
+				changed = true
+			}
+			if dist[e.V]+e.W < dist[e.U] {
+				dist[e.U] = dist[e.V] + e.W
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	g := New(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, float64(rng.Intn(100)+1))
+		}
+	}
+	return g
+}
+
+func TestDijkstraMatchesBellmanFordProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(20) + 2
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		src := rng.Intn(n)
+		d1, _ := Dijkstra(g, src)
+		d2 := bellmanFord(g, src)
+		for v := range d1 {
+			if d1[v] != d2[v] {
+				t.Fatalf("trial %d: dijkstra=%v bellman=%v", trial, d1, d2)
+			}
+		}
+	}
+}

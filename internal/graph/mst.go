@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// PrimMST computes a minimum spanning tree of the subgraph described by
+// nodes and edges, rooted at root. Nodes are arbitrary (not necessarily
+// dense) identifiers; edges whose endpoints are not both in nodes are
+// ignored. It returns the tree edges and whether the subgraph is
+// connected (when false, the tree spans only root's component).
+//
+// This is the Phase-2 construction of the paper: each peer runs Prim over
+// the overlay subgraph known from exchanged neighbor cost tables.
+func PrimMST(nodes []int, edges []Edge, root int) (tree []Edge, connected bool) {
+	idx := make(map[int]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	ri, ok := idx[root]
+	if !ok {
+		return nil, len(nodes) == 0
+	}
+	adj := make([][]Arc, len(nodes))
+	for _, e := range edges {
+		ui, uok := idx[e.U]
+		vi, vok := idx[e.V]
+		if !uok || !vok || ui == vi {
+			continue
+		}
+		adj[ui] = append(adj[ui], Arc{To: vi, W: e.W})
+		adj[vi] = append(adj[vi], Arc{To: ui, W: e.W})
+	}
+
+	const unseen = -2
+	inTree := make([]bool, len(nodes))
+	best := make([]float64, len(nodes))
+	from := make([]int, len(nodes))
+	for i := range best {
+		best[i] = Inf
+		from[i] = unseen
+	}
+	best[ri], from[ri] = 0, -1
+	q := pq{{node: ri}}
+	tree = make([]Edge, 0, len(nodes)-1)
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.node
+		if inTree[u] {
+			continue
+		}
+		inTree[u] = true
+		if from[u] >= 0 {
+			tree = append(tree, Edge{U: nodes[from[u]], V: nodes[u], W: best[u]})
+		}
+		for _, a := range adj[u] {
+			if !inTree[a.To] && a.W < best[a.To] {
+				best[a.To] = a.W
+				from[a.To] = u
+				heap.Push(&q, pqItem{node: a.To, dist: a.W})
+			}
+		}
+	}
+	return tree, len(tree) == len(nodes)-1
+}
+
+// PrimDense computes the minimum spanning tree of the complete graph on
+// n nodes with edge costs given by cost(i, j), rooted at node 0, using
+// the classic O(n²) dense Prim — the variant the paper cites ("an
+// algorithm like PRIM which has a computation complexity of O(m²)").
+// It returns parent[i] for each node (parent[0] = -1).
+func PrimDense(n int, cost func(i, j int) float64) []int {
+	parent := make([]int, n)
+	if n == 0 {
+		return parent
+	}
+	best := make([]float64, n)
+	inTree := make([]bool, n)
+	for i := range best {
+		best[i] = Inf
+		parent[i] = 0
+	}
+	parent[0] = -1
+	best[0] = 0
+	for iter := 0; iter < n; iter++ {
+		u := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (u < 0 || best[v] < best[u]) {
+				u = v
+			}
+		}
+		inTree[u] = true
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if c := cost(u, v); c < best[v] {
+					best[v] = c
+					parent[v] = u
+				}
+			}
+		}
+	}
+	return parent
+}
+
+// UnionFind is a disjoint-set forest with path halving and union by size.
+type UnionFind struct {
+	parent []int
+	size   []int
+	sets   int
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), size: make([]int, n), sets: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, reporting whether a merge happened.
+func (uf *UnionFind) Union(a, b int) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	uf.sets--
+	return true
+}
+
+// Sets reports the number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// KruskalMST computes an MST over the same subgraph description as
+// PrimMST. It exists primarily to cross-validate Prim in tests and for
+// callers that already hold a sorted edge list.
+func KruskalMST(nodes []int, edges []Edge) (tree []Edge, connected bool) {
+	idx := make(map[int]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	sorted := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		ui, uok := idx[e.U]
+		vi, vok := idx[e.V]
+		if uok && vok && ui != vi {
+			sorted = append(sorted, e)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].W < sorted[j].W })
+	uf := NewUnionFind(len(nodes))
+	for _, e := range sorted {
+		if uf.Union(idx[e.U], idx[e.V]) {
+			tree = append(tree, e)
+			if len(tree) == len(nodes)-1 {
+				break
+			}
+		}
+	}
+	return tree, len(nodes) == 0 || len(tree) == len(nodes)-1
+}

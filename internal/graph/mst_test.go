@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func treeWeight(tree []Edge) float64 {
+	var w float64
+	for _, e := range tree {
+		w += e.W
+	}
+	return w
+}
+
+func TestPrimMSTTriangle(t *testing.T) {
+	nodes := []int{10, 20, 30}
+	edges := []Edge{{10, 20, 1}, {20, 30, 2}, {10, 30, 3}}
+	tree, connected := PrimMST(nodes, edges, 10)
+	if !connected {
+		t.Fatal("triangle should be connected")
+	}
+	if len(tree) != 2 || treeWeight(tree) != 3 {
+		t.Fatalf("tree = %v, want weight 3 with 2 edges", tree)
+	}
+}
+
+func TestPrimMSTDisconnected(t *testing.T) {
+	nodes := []int{1, 2, 3, 4}
+	edges := []Edge{{1, 2, 1}}
+	tree, connected := PrimMST(nodes, edges, 1)
+	if connected {
+		t.Fatal("disconnected subgraph reported connected")
+	}
+	if len(tree) != 1 {
+		t.Fatalf("tree should span root component only, got %v", tree)
+	}
+}
+
+func TestPrimMSTRootNotInNodes(t *testing.T) {
+	tree, connected := PrimMST([]int{1, 2}, []Edge{{1, 2, 1}}, 99)
+	if tree != nil || connected {
+		t.Fatalf("unknown root: tree=%v connected=%v", tree, connected)
+	}
+}
+
+func TestPrimMSTIgnoresForeignEdges(t *testing.T) {
+	nodes := []int{1, 2}
+	edges := []Edge{{1, 2, 5}, {1, 99, 1}, {98, 97, 1}}
+	tree, connected := PrimMST(nodes, edges, 1)
+	if !connected || len(tree) != 1 || tree[0].W != 5 {
+		t.Fatalf("foreign edges leaked into tree: %v", tree)
+	}
+}
+
+func TestPrimMSTSingleNode(t *testing.T) {
+	tree, connected := PrimMST([]int{7}, nil, 7)
+	if !connected || len(tree) != 0 {
+		t.Fatalf("single node: tree=%v connected=%v", tree, connected)
+	}
+}
+
+func TestKruskalMatchesPrimProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(15) + 1
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i * 3 // sparse, non-dense ids
+		}
+		var edges []Edge
+		// Random edges; sometimes leave the graph disconnected.
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, Edge{nodes[u], nodes[v], float64(rng.Intn(50) + 1)})
+			}
+		}
+		pt, pc := PrimMST(nodes, edges, nodes[0])
+		kt, kc := KruskalMST(nodes, edges)
+		if pc != kc {
+			t.Fatalf("trial %d: connectivity disagreement prim=%v kruskal=%v", trial, pc, kc)
+		}
+		if pc && treeWeight(pt) != treeWeight(kt) {
+			t.Fatalf("trial %d: weight prim=%v kruskal=%v", trial, treeWeight(pt), treeWeight(kt))
+		}
+	}
+}
+
+func TestPrimMSTIsSpanningAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(20) + 2
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		var edges []Edge
+		// Spanning chain guarantees connectivity, then random extras.
+		for i := 1; i < n; i++ {
+			edges = append(edges, Edge{i - 1, i, float64(rng.Intn(50) + 1)})
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, Edge{u, v, float64(rng.Intn(50) + 1)})
+			}
+		}
+		tree, connected := PrimMST(nodes, edges, 0)
+		if !connected {
+			t.Fatalf("trial %d: chain graph reported disconnected", trial)
+		}
+		// n-1 edges + all nodes touched + acyclic via union-find.
+		if len(tree) != n-1 {
+			t.Fatalf("trial %d: %d tree edges for %d nodes", trial, len(tree), n)
+		}
+		uf := NewUnionFind(n)
+		for _, e := range tree {
+			if !uf.Union(e.U, e.V) {
+				t.Fatalf("trial %d: cycle in MST at edge %+v", trial, e)
+			}
+		}
+		if uf.Sets() != 1 {
+			t.Fatalf("trial %d: tree does not span (sets=%d)", trial, uf.Sets())
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", uf.Sets())
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Fatal("fresh unions should merge")
+	}
+	if uf.Union(0, 2) {
+		t.Fatal("redundant union should report false")
+	}
+	if uf.Find(0) != uf.Find(2) || uf.Find(0) == uf.Find(3) {
+		t.Fatal("Find inconsistent")
+	}
+	if uf.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", uf.Sets())
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	// Path 0-1-2-3-4 with shortcut 0-3.
+	adj := map[int][]int{0: {1, 3}, 1: {0, 2}, 2: {1, 3}, 3: {2, 4, 0}, 4: {3}}
+	nb := func(u int) []int { return adj[u] }
+
+	got := Neighborhood(0, 1, nb)
+	if len(got) != 3 || got[0] != 0 {
+		t.Fatalf("1-closure = %v, want [0 1 3]", got)
+	}
+	got = Neighborhood(0, 2, nb)
+	if len(got) != 5 {
+		t.Fatalf("2-closure = %v, want all 5", got)
+	}
+	if got := Neighborhood(0, 0, nb); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("0-closure = %v, want [0]", got)
+	}
+	if Neighborhood(0, -1, nb) != nil {
+		t.Fatal("negative depth should be nil")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	label, count := Components(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if label[0] != label[2] || label[3] != label[4] || label[0] == label[3] || label[5] == label[0] {
+		t.Fatalf("labels = %v", label)
+	}
+	gc := GiantComponent(g)
+	if len(gc) != 3 || gc[0] != 0 {
+		t.Fatalf("giant = %v, want [0 1 2]", gc)
+	}
+}
+
+func TestGiantComponentEmpty(t *testing.T) {
+	if GiantComponent(New(0)) != nil {
+		t.Fatal("empty graph should have nil giant component")
+	}
+}
+
+func TestPrimDenseMatchesSparseProperty(t *testing.T) {
+	// Dense Prim over a complete metric-like graph must produce a tree
+	// with the same total weight as Kruskal over the same edges.
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(15) + 1
+		// Random symmetric cost matrix with distinct-ish weights.
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				w := float64(rng.Intn(1000)+1) + float64(trial)/1e6
+				cost[i][j], cost[j][i] = w, w
+			}
+		}
+		parent := PrimDense(n, func(i, j int) float64 { return cost[i][j] })
+		if parent[0] != -1 {
+			t.Fatalf("trial %d: root parent = %d, want -1", trial, parent[0])
+		}
+		var denseWeight float64
+		uf := NewUnionFind(n)
+		for v := 1; v < n; v++ {
+			if parent[v] < 0 || parent[v] >= n {
+				t.Fatalf("trial %d: bad parent %d", trial, parent[v])
+			}
+			denseWeight += cost[v][parent[v]]
+			if !uf.Union(v, parent[v]) {
+				t.Fatalf("trial %d: cycle in dense MST", trial)
+			}
+		}
+		if uf.Sets() != 1 {
+			t.Fatalf("trial %d: dense MST does not span", trial)
+		}
+		nodes := make([]int, n)
+		var edges []Edge
+		for i := range nodes {
+			nodes[i] = i
+			for j := i + 1; j < n; j++ {
+				edges = append(edges, Edge{i, j, cost[i][j]})
+			}
+		}
+		kt, connected := KruskalMST(nodes, edges)
+		if n > 1 && !connected {
+			t.Fatalf("trial %d: complete graph disconnected?", trial)
+		}
+		if w := treeWeight(kt); math.Abs(w-denseWeight) > 1e-6 {
+			t.Fatalf("trial %d: dense %v vs kruskal %v", trial, denseWeight, w)
+		}
+	}
+}
+
+func TestPrimDenseEmpty(t *testing.T) {
+	if got := PrimDense(0, nil); len(got) != 0 {
+		t.Fatalf("PrimDense(0) = %v", got)
+	}
+	if got := PrimDense(1, func(i, j int) float64 { return 1 }); got[0] != -1 {
+		t.Fatalf("single node parent = %v", got)
+	}
+}
+
+func TestPathToEdgeCases(t *testing.T) {
+	parent := []int{-1, 0, 1}
+	if PathTo(parent, 0, 99) != nil {
+		t.Fatal("out-of-range dst should be nil")
+	}
+	// dst whose chain does not reach src.
+	parent2 := []int{-1, -1, 1}
+	if PathTo(parent2, 0, 2) != nil {
+		t.Fatal("disjoint chain should be nil")
+	}
+}

@@ -1,0 +1,191 @@
+// Package ltm implements Location-aware Topology Matching — the authors'
+// own alternative scheme (reference [9], INFOCOM 2004) that the paper's
+// §2 compares ACE against: each peer periodically floods a TTL-2
+// *detector* message carrying timestamps; receivers use the recorded
+// delays to cut the slowest link of each overlay triangle they observe
+// and to adopt closer peers discovered by the detector as direct
+// neighbors. Unlike ACE it keeps blind flooding as the routing strategy
+// and optimizes only the link set — and, as §2 notes, it "creates
+// slightly more overhead and requires that the clocks in all peers be
+// synchronized" (the delay bookkeeping below assumes exactly that
+// synchronization).
+package ltm
+
+import (
+	"fmt"
+	"sort"
+
+	"ace/internal/overlay"
+	"ace/internal/sim"
+)
+
+// Config parameterizes the optimizer.
+type Config struct {
+	// CutProb is the probability a peer cuts an observed slowest
+	// triangle edge in a round (probabilistic cutting keeps concurrent
+	// independent cuts from cascading).
+	CutProb float64
+	// MinDegree is the connection floor (cuts never push a peer below
+	// it).
+	MinDegree int
+	// DetectorCost is the traffic cost of one detector message per unit
+	// of physical delay, relative to a query message costing 1.
+	DetectorCost float64
+}
+
+// DefaultConfig mirrors the published LTM parameters: aggressive cutting
+// with a degree floor, detectors comparable to small query messages.
+func DefaultConfig() Config {
+	return Config{CutProb: 0.7, MinDegree: 2, DetectorCost: 0.4}
+}
+
+func (c Config) validate() error {
+	if c.CutProb < 0 || c.CutProb > 1 {
+		return fmt.Errorf("ltm: CutProb %v outside [0,1]", c.CutProb)
+	}
+	if c.MinDegree < 1 {
+		return fmt.Errorf("ltm: MinDegree %d, need >= 1", c.MinDegree)
+	}
+	if c.DetectorCost < 0 {
+		return fmt.Errorf("ltm: negative DetectorCost")
+	}
+	return nil
+}
+
+// Report summarizes one LTM round.
+type Report struct {
+	Cuts         int     // slowest-triangle edges removed
+	Adoptions    int     // closer peers adopted as neighbors
+	DetectorCost float64 // traffic cost of this round's detector floods
+}
+
+// Optimizer runs LTM rounds over an overlay.
+type Optimizer struct {
+	net           *overlay.Network
+	cfg           Config
+	totalOverhead float64
+}
+
+// NewOptimizer validates cfg and attaches LTM to net.
+func NewOptimizer(net *overlay.Network, cfg Config) (*Optimizer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Optimizer{net: net, cfg: cfg}, nil
+}
+
+// TotalOverhead reports the accumulated detector traffic cost.
+func (o *Optimizer) TotalOverhead() float64 { return o.totalOverhead }
+
+// Round performs one LTM step for every live peer: flood detectors two
+// hops (overhead), cut the slowest edge of each fully-connected triangle
+// observed, and adopt a discovered two-hop peer that is closer than the
+// current farthest neighbor.
+func (o *Optimizer) Round(rng *sim.RNG) Report {
+	var rep Report
+	rep.DetectorCost = o.detectorCost()
+	o.totalOverhead += rep.DetectorCost
+
+	for _, p := range o.net.AlivePeers() {
+		if !o.net.Alive(p) {
+			continue
+		}
+		o.cutSlowTriangles(rng, p, &rep)
+		o.adoptCloser(p, &rep)
+	}
+	return rep
+}
+
+// detectorCost prices one round of TTL-2 detector floods: each peer's
+// detector crosses its links and is relayed once by each neighbor.
+func (o *Optimizer) detectorCost() float64 {
+	total := 0.0
+	for _, p := range o.net.AlivePeers() {
+		for _, q := range o.net.Neighbors(p) {
+			total += o.cfg.DetectorCost * o.net.Cost(p, q)
+			for _, r := range o.net.Neighbors(q) {
+				if r != p {
+					total += o.cfg.DetectorCost * o.net.Cost(q, r)
+				}
+			}
+		}
+	}
+	return total
+}
+
+// cutSlowTriangles: the detector lets p see, for each pair of its
+// connected neighbors, the full triangle delays; the slowest edge of a
+// triangle is redundant for flooding and gets cut (probabilistically,
+// respecting the degree floor). p can only cut its own links; when the
+// slowest edge is between two neighbors, the same logic runs at those
+// peers' own rounds.
+func (o *Optimizer) cutSlowTriangles(rng *sim.RNG, p overlay.PeerID, rep *Report) {
+	nbrs := o.net.Neighbors(p)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			a, b := nbrs[i], nbrs[j]
+			if !o.net.HasEdge(p, a) || !o.net.HasEdge(p, b) || !o.net.HasEdge(a, b) {
+				continue
+			}
+			pa, pb, ab := o.net.Cost(p, a), o.net.Cost(p, b), o.net.Cost(a, b)
+			var u, v overlay.PeerID
+			switch {
+			case pa >= pb && pa >= ab:
+				u, v = p, a
+			case pb >= pa && pb >= ab:
+				u, v = p, b
+			default:
+				continue // slowest edge is a—b: their triangles, not p's
+			}
+			if o.net.Degree(u) <= o.cfg.MinDegree || o.net.Degree(v) <= o.cfg.MinDegree {
+				continue
+			}
+			if rng.Float64() < o.cfg.CutProb {
+				o.net.Disconnect(u, v)
+				rep.Cuts++
+			}
+		}
+	}
+}
+
+// adoptCloser: the detector exposes two-hop peers and their delays; if
+// the closest such peer beats p's farthest current neighbor, p connects
+// to it (and relies on triangle cutting to trim the now-redundant far
+// link in a later round).
+func (o *Optimizer) adoptCloser(p overlay.PeerID, rep *Report) {
+	nbrs := o.net.Neighbors(p)
+	if len(nbrs) == 0 {
+		return
+	}
+	farthest := 0.0
+	for _, q := range nbrs {
+		if c := o.net.Cost(p, q); c > farthest {
+			farthest = c
+		}
+	}
+	var best overlay.PeerID = -1
+	bestCost := farthest
+	seen := map[overlay.PeerID]bool{p: true}
+	for _, q := range nbrs {
+		seen[q] = true
+	}
+	// Deterministic scan order over two-hop peers.
+	var candidates []overlay.PeerID
+	for _, q := range nbrs {
+		for _, r := range o.net.Neighbors(q) {
+			if !seen[r] {
+				seen[r] = true
+				candidates = append(candidates, r)
+			}
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for _, r := range candidates {
+		if c := o.net.Cost(p, r); c < bestCost {
+			best, bestCost = r, c
+		}
+	}
+	if best >= 0 && o.net.Connect(p, best) {
+		rep.Adoptions++
+	}
+}

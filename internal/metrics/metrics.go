@@ -1,0 +1,141 @@
+// Package metrics implements the paper's §4.2 performance metrics —
+// traffic cost, search scope, response time, overhead traffic and the
+// optimization (gain/penalty) rate — plus the streaming aggregation used
+// to average them over thousands of queries.
+package metrics
+
+import "math"
+
+// Agg is a streaming aggregator (Welford's algorithm) for mean and
+// variance, with min/max tracking. The zero value is ready to use.
+type Agg struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample in. Non-finite samples are ignored (queries with
+// no responder report +Inf response time; averaging them would poison
+// the mean — they are counted separately by callers that care).
+func (a *Agg) Add(x float64) {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return
+	}
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// Count reports the number of finite samples.
+func (a *Agg) Count() int { return a.n }
+
+// Mean reports the sample mean (0 with no samples).
+func (a *Agg) Mean() float64 { return a.mean }
+
+// Var reports the unbiased sample variance.
+func (a *Agg) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (a *Agg) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min reports the smallest sample (0 with no samples).
+func (a *Agg) Min() float64 { return a.min }
+
+// Max reports the largest sample (0 with no samples).
+func (a *Agg) Max() float64 { return a.max }
+
+// Merge folds another aggregator's samples into a (Chan et al. parallel
+// variance), so sweep cells computed concurrently can combine.
+func (a *Agg) Merge(b Agg) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	d := b.mean - a.mean
+	n := a.n + b.n
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = n
+}
+
+// Windowed buckets a sample stream into fixed-size windows and reports
+// each window's mean — the view Figures 9 and 10 plot (traffic cost and
+// response time per query, over the query sequence).
+type Windowed struct {
+	size int
+	cur  Agg
+	out  []float64
+}
+
+// NewWindowed creates a window accumulator of the given size (minimum 1).
+func NewWindowed(size int) *Windowed {
+	if size < 1 {
+		size = 1
+	}
+	return &Windowed{size: size}
+}
+
+// Add folds one sample into the current window.
+func (w *Windowed) Add(x float64) {
+	w.cur.Add(x)
+	if w.cur.Count() >= w.size {
+		w.out = append(w.out, w.cur.Mean())
+		w.cur = Agg{}
+	}
+}
+
+// Means returns the completed windows' means, plus the partial window if
+// it holds any samples.
+func (w *Windowed) Means() []float64 {
+	out := append([]float64(nil), w.out...)
+	if w.cur.Count() > 0 {
+		out = append(out, w.cur.Mean())
+	}
+	return out
+}
+
+// OptimizationRate is the paper's gain/penalty ratio (§4.2): the query
+// traffic saved per exchange period divided by the overhead spent in it.
+// R is the frequency ratio (query frequency ÷ cost-information exchange
+// frequency): with R queries per exchange cycle, the period's gain is
+// R × the per-query saving. ACE is worth using only when this exceeds 1.
+func OptimizationRate(savedPerQuery, overheadPerCycle, r float64) float64 {
+	if overheadPerCycle <= 0 {
+		return math.Inf(1)
+	}
+	return r * savedPerQuery / overheadPerCycle
+}
+
+// Reduction reports the relative reduction (base−v)/base, the quantity
+// Figure 11 plots; 0 when base is 0.
+func Reduction(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - v) / base
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAggBasics(t *testing.T) {
+	var a Agg
+	if a.Mean() != 0 || a.Std() != 0 || a.Count() != 0 {
+		t.Fatal("zero value not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if !almost(a.Mean(), 5) {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	// Population std is 2; sample std = sqrt(32/7).
+	if !almost(a.Std(), math.Sqrt(32.0/7)) {
+		t.Fatalf("Std = %v", a.Std())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAggIgnoresNonFinite(t *testing.T) {
+	var a Agg
+	a.Add(1)
+	a.Add(math.Inf(1))
+	a.Add(math.NaN())
+	a.Add(3)
+	if a.Count() != 2 || !almost(a.Mean(), 2) {
+		t.Fatalf("Count=%d Mean=%v", a.Count(), a.Mean())
+	}
+}
+
+func TestAggSingleSampleVariance(t *testing.T) {
+	var a Agg
+	a.Add(42)
+	if a.Var() != 0 {
+		t.Fatalf("Var of one sample = %v, want 0", a.Var())
+	}
+}
+
+func TestMergeMatchesSequentialProperty(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		// Filter non-finite inputs quick may generate.
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsInf(x, 0) && !math.IsNaN(x) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		k := int(split) % (len(clean) + 1)
+		var whole, left, right Agg
+		for _, x := range clean {
+			whole.Add(x)
+		}
+		for _, x := range clean[:k] {
+			left.Add(x)
+		}
+		for _, x := range clean[k:] {
+			right.Add(x)
+		}
+		left.Merge(right)
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		return left.Count() == whole.Count() &&
+			math.Abs(left.Mean()-whole.Mean()) < 1e-6*scale &&
+			math.Abs(left.Var()-whole.Var()) < 1e-4*math.Max(1, whole.Var()) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	var a, b Agg
+	b.Add(5)
+	a.Merge(b)
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Fatal("merge into empty failed")
+	}
+	a.Merge(Agg{})
+	if a.Count() != 1 {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestWindowed(t *testing.T) {
+	w := NewWindowed(3)
+	for i := 1; i <= 7; i++ {
+		w.Add(float64(i))
+	}
+	got := w.Means()
+	want := []float64{2, 5, 7} // (1+2+3)/3, (4+5+6)/3, partial 7
+	if len(got) != len(want) {
+		t.Fatalf("Means = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Fatalf("Means = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWindowedMinSize(t *testing.T) {
+	w := NewWindowed(0)
+	w.Add(4)
+	w.Add(6)
+	got := w.Means()
+	if len(got) != 2 || got[0] != 4 || got[1] != 6 {
+		t.Fatalf("size-0 window = %v, want per-sample", got)
+	}
+}
+
+func TestOptimizationRate(t *testing.T) {
+	// Gain 50 per query, overhead 100 per cycle: R=1 → 0.5, R=2 → 1.0.
+	if r := OptimizationRate(50, 100, 1); !almost(r, 0.5) {
+		t.Fatalf("rate = %v, want 0.5", r)
+	}
+	if r := OptimizationRate(50, 100, 2); !almost(r, 1.0) {
+		t.Fatalf("rate = %v, want 1.0", r)
+	}
+	if r := OptimizationRate(50, 0, 1); !math.IsInf(r, 1) {
+		t.Fatalf("zero overhead rate = %v, want +Inf", r)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if r := Reduction(200, 100); !almost(r, 0.5) {
+		t.Fatalf("Reduction = %v, want 0.5", r)
+	}
+	if r := Reduction(0, 5); r != 0 {
+		t.Fatalf("Reduction with zero base = %v, want 0", r)
+	}
+	if r := Reduction(100, 120); !almost(r, -0.2) {
+		t.Fatalf("negative reduction = %v, want -0.2", r)
+	}
+}
+
+func TestMergeMinMaxAndBothEmpty(t *testing.T) {
+	var a, b Agg
+	a.Merge(b) // both empty: no-op
+	if a.Count() != 0 {
+		t.Fatal("merging empties changed state")
+	}
+	for _, x := range []float64{5, 1} {
+		a.Add(x)
+	}
+	for _, x := range []float64{9, 3} {
+		b.Add(x)
+	}
+	a.Merge(b)
+	if a.Count() != 4 || a.Min() != 1 || a.Max() != 9 {
+		t.Fatalf("merge stats: count=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	if !almost(a.Mean(), 4.5) {
+		t.Fatalf("merged mean = %v, want 4.5", a.Mean())
+	}
+}

@@ -1,0 +1,156 @@
+package overlay
+
+import (
+	"fmt"
+
+	"ace/internal/sim"
+)
+
+// GenerateRandom brings every peer slot alive and wires a connected
+// random overlay with mean degree approximately avgDegree, reproducing
+// the paper's logical topology generation (§4.1: logical topologies with
+// a given average number of edge connections).
+//
+// Construction mimics sequential bootstrap joining: each peer first links
+// to one uniformly random earlier peer (guaranteeing connectivity exactly
+// as a bootstrap chain does), then uniformly random extra links are added
+// until the edge budget n·avgDegree/2 is met. Random endpoint selection
+// is what creates the overlay/physical mismatch ACE optimizes away.
+func GenerateRandom(rng *sim.RNG, net *Network, avgDegree float64) error {
+	n := net.N()
+	if n < 2 {
+		return fmt.Errorf("overlay: need at least 2 peers, got %d", n)
+	}
+	if avgDegree < 2 {
+		return fmt.Errorf("overlay: average degree %.1f below tree minimum 2", avgDegree)
+	}
+	target := int(float64(n) * avgDegree / 2)
+	maxEdges := n * (n - 1) / 2
+	if target > maxEdges {
+		return fmt.Errorf("overlay: average degree %.1f infeasible for %d peers", avgDegree, n)
+	}
+
+	for p := 0; p < n; p++ {
+		if !net.alive[p] {
+			net.alive[p] = true
+			net.nAlive++
+		}
+	}
+	for p := 1; p < n; p++ {
+		net.Connect(PeerID(p), PeerID(rng.Intn(p)))
+	}
+	for guard := 0; net.NumEdges() < target; {
+		p, q := PeerID(rng.Intn(n)), PeerID(rng.Intn(n))
+		if !net.Connect(p, q) {
+			if guard++; guard > 100*maxEdges {
+				return fmt.Errorf("overlay: edge placement stalled at %d/%d edges", net.NumEdges(), target)
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateSmallWorld brings every peer slot alive and wires an overlay
+// with the structure §4.1 requires of logical topologies: power-law
+// degrees AND small-world clustering. It uses Holme–Kim preferential
+// attachment with triad formation: each arriving peer makes its first
+// link by degree-proportional choice and each further link, with
+// probability triadProb, to a neighbor of a peer it just linked
+// (learning addresses from its new neighbor's Ping/Pong, which is where
+// real Gnutella clustering comes from), otherwise by another
+// degree-proportional choice. Mean degree approaches avgDegree.
+//
+// The clustering matters beyond realism: ACE's Phase 2 can only demote a
+// neighbor to non-flooding when the closure contains an alternative path
+// to it, so a clustering-free overlay (GenerateRandom) makes h = 1
+// optimization a no-op.
+func GenerateSmallWorld(rng *sim.RNG, net *Network, avgDegree int, triadProb float64) error {
+	n := net.N()
+	if n < 3 {
+		return fmt.Errorf("overlay: need at least 3 peers, got %d", n)
+	}
+	if avgDegree < 2 || avgDegree >= n {
+		return fmt.Errorf("overlay: average degree %d infeasible for %d peers", avgDegree, n)
+	}
+	if triadProb < 0 || triadProb > 1 {
+		return fmt.Errorf("overlay: triad probability %v outside [0,1]", triadProb)
+	}
+	for p := 0; p < n; p++ {
+		if !net.alive[p] {
+			net.alive[p] = true
+			net.nAlive++
+		}
+	}
+	m := avgDegree / 2
+	if m < 1 {
+		m = 1
+	}
+	// Degree-proportional urn: push both endpoints of every new edge.
+	seed := m + 1
+	var urn []PeerID
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			net.Connect(PeerID(u), PeerID(v))
+			urn = append(urn, PeerID(u), PeerID(v))
+		}
+	}
+	for u := seed; u < n; u++ {
+		p := PeerID(u)
+		links := m
+		if avgDegree%2 == 1 && u%2 == 1 {
+			links++ // alternate so odd degrees average out
+		}
+		var last PeerID = -1
+		for made, attempts := 0, 0; made < links && attempts < 50*links; attempts++ {
+			var v PeerID = -1
+			if last >= 0 && rng.Float64() < triadProb {
+				nbrs := net.Neighbors(last)
+				if len(nbrs) > 0 {
+					v = nbrs[rng.Intn(len(nbrs))]
+				}
+			}
+			if v < 0 {
+				v = urn[rng.Intn(len(urn))]
+			}
+			if net.Connect(p, v) {
+				urn = append(urn, p, v)
+				last = v
+				made++
+			}
+		}
+	}
+	return nil
+}
+
+// ClusteringCoefficient samples the mean local clustering coefficient
+// over the live peers (all of them when sample <= 0 or exceeds the
+// population).
+func (n *Network) ClusteringCoefficient(rng *sim.RNG, sample int) float64 {
+	peers := n.AlivePeers()
+	if sample > 0 && sample < len(peers) {
+		rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+		peers = peers[:sample]
+	}
+	total, counted := 0.0, 0
+	for _, p := range peers {
+		nbrs := n.Neighbors(p)
+		if len(nbrs) < 2 {
+			continue
+		}
+		links := 0
+		for i, a := range nbrs {
+			for _, b := range nbrs[i+1:] {
+				if n.HasEdge(a, b) {
+					links++
+				}
+			}
+		}
+		k := len(nbrs)
+		total += 2 * float64(links) / float64(k*(k-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

@@ -1,0 +1,302 @@
+// Package overlay maintains the logical peer-to-peer network state: which
+// peers are alive, who neighbors whom, where each peer attaches to the
+// physical network, and the bootstrap/host-cache join mechanism whose
+// randomness causes the topology mismatch the paper attacks.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"ace/internal/physical"
+	"ace/internal/sim"
+)
+
+// PeerID identifies a peer slot. Slots are stable across leave/rejoin so
+// a returning peer keeps its host cache, as in Gnutella clients.
+type PeerID int
+
+// Network is the mutable overlay state. It is not safe for concurrent
+// mutation; the simulators drive it from a single goroutine.
+type Network struct {
+	oracle *physical.Oracle
+	attach []int
+	alive  []bool
+	nbr    []map[PeerID]struct{}
+	// hostCache remembers the neighbor addresses a peer knew when it
+	// left, so rejoining preferentially reconnects to them (§1: "the
+	// peer will try to connect to the peers whose IP addresses have
+	// already been cached").
+	hostCache [][]PeerID
+	nAlive    int
+	edges     int
+}
+
+// NewNetwork creates an overlay with one peer slot per attachment point;
+// all peers start dead with no links. attach[i] is the physical node of
+// peer i and must be a valid node of the oracle's graph.
+func NewNetwork(oracle *physical.Oracle, attach []int) (*Network, error) {
+	for i, a := range attach {
+		if a < 0 || a >= oracle.N() {
+			return nil, fmt.Errorf("overlay: attachment %d of peer %d out of range [0,%d)", a, i, oracle.N())
+		}
+	}
+	n := len(attach)
+	net := &Network{
+		oracle:    oracle,
+		attach:    append([]int(nil), attach...),
+		alive:     make([]bool, n),
+		nbr:       make([]map[PeerID]struct{}, n),
+		hostCache: make([][]PeerID, n),
+	}
+	for i := range net.nbr {
+		net.nbr[i] = make(map[PeerID]struct{})
+	}
+	return net, nil
+}
+
+// RandomAttachments draws nPeers distinct physical nodes from [0, physN).
+func RandomAttachments(rng *sim.RNG, physN, nPeers int) ([]int, error) {
+	if nPeers > physN {
+		return nil, fmt.Errorf("overlay: %d peers exceed %d physical nodes", nPeers, physN)
+	}
+	perm := rng.Perm(physN)
+	return perm[:nPeers], nil
+}
+
+// N reports the total number of peer slots.
+func (n *Network) N() int { return len(n.attach) }
+
+// NumAlive reports how many peers are currently alive.
+func (n *Network) NumAlive() int { return n.nAlive }
+
+// NumEdges reports the number of live overlay connections.
+func (n *Network) NumEdges() int { return n.edges }
+
+// Alive reports whether p is in the system.
+func (n *Network) Alive(p PeerID) bool { return n.alive[p] }
+
+// AlivePeers returns all live peers in ascending order.
+func (n *Network) AlivePeers() []PeerID {
+	out := make([]PeerID, 0, n.nAlive)
+	for p := range n.alive {
+		if n.alive[p] {
+			out = append(out, PeerID(p))
+		}
+	}
+	return out
+}
+
+// Attachment returns the physical node peer p attaches to.
+func (n *Network) Attachment(p PeerID) int { return n.attach[p] }
+
+// Cost returns the physical delay between peers p and q — the Phase-1
+// probe measurement.
+func (n *Network) Cost(p, q PeerID) float64 {
+	return n.oracle.Delay(n.attach[p], n.attach[q])
+}
+
+// Oracle exposes the underlying physical distance oracle.
+func (n *Network) Oracle() *physical.Oracle { return n.oracle }
+
+// Neighbors returns p's current neighbors in ascending order. The slice
+// is freshly allocated and owned by the caller.
+func (n *Network) Neighbors(p PeerID) []PeerID {
+	out := make([]PeerID, 0, len(n.nbr[p]))
+	for q := range n.nbr[p] {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree reports p's current neighbor count.
+func (n *Network) Degree(p PeerID) int { return len(n.nbr[p]) }
+
+// HasEdge reports whether p and q are connected.
+func (n *Network) HasEdge(p, q PeerID) bool {
+	_, ok := n.nbr[p][q]
+	return ok
+}
+
+// Connect links two live peers. Connecting dead peers, a peer to itself,
+// or an existing edge reports false without changing state.
+func (n *Network) Connect(p, q PeerID) bool {
+	if p == q || !n.alive[p] || !n.alive[q] || n.HasEdge(p, q) {
+		return false
+	}
+	n.nbr[p][q] = struct{}{}
+	n.nbr[q][p] = struct{}{}
+	n.edges++
+	return true
+}
+
+// Disconnect removes the link between p and q, reporting whether one
+// existed.
+func (n *Network) Disconnect(p, q PeerID) bool {
+	if !n.HasEdge(p, q) {
+		return false
+	}
+	delete(n.nbr[p], q)
+	delete(n.nbr[q], p)
+	n.edges--
+	return true
+}
+
+// joinTriadProb is the probability that a joining peer's next link goes
+// to a neighbor of a peer it already connected to (an address learned
+// from that peer's Ping/Pong) instead of a fresh bootstrap address. This
+// is what keeps the overlay's small-world clustering alive under churn.
+const joinTriadProb = 0.5
+
+// Join brings a dead peer into the system and connects it to up to
+// degreeTarget live peers: first its cached addresses that are still
+// alive, then peers learned from its new neighbors or supplied by the
+// bootstrap node. It reports the number of connections established.
+func (n *Network) Join(rng *sim.RNG, p PeerID, degreeTarget int) int {
+	if n.alive[p] {
+		return 0
+	}
+	n.alive[p] = true
+	n.nAlive++
+	made := 0
+	for _, q := range n.hostCache[p] {
+		if made >= degreeTarget {
+			break
+		}
+		if n.alive[q] && n.Connect(p, q) {
+			made++
+		}
+	}
+	if made >= degreeTarget {
+		return made
+	}
+	var bootstrap []PeerID
+	for attempts := 0; made < degreeTarget && attempts < 20*(degreeTarget+1); attempts++ {
+		if made > 0 && rng.Float64() < joinTriadProb {
+			// Ask an existing neighbor for one of its neighbors.
+			mine := n.Neighbors(p)
+			nbrs := n.Neighbors(mine[rng.Intn(len(mine))])
+			if len(nbrs) > 0 && n.Connect(p, nbrs[rng.Intn(len(nbrs))]) {
+				made++
+				continue
+			}
+		}
+		if bootstrap == nil {
+			bootstrap = n.AlivePeers()
+			rng.Shuffle(len(bootstrap), func(i, j int) {
+				bootstrap[i], bootstrap[j] = bootstrap[j], bootstrap[i]
+			})
+		}
+		if len(bootstrap) == 0 {
+			break
+		}
+		q := bootstrap[len(bootstrap)-1]
+		bootstrap = bootstrap[:len(bootstrap)-1]
+		if n.Connect(p, q) {
+			made++
+		}
+	}
+	return made
+}
+
+// maxHostCache bounds how many addresses a peer remembers, as real
+// clients bound their host caches.
+const maxHostCache = 64
+
+// Leave removes a live peer and drops all its links. Its neighbor
+// addresses are merged into the front of its host cache for a later
+// rejoin, without displacing older Ping/Pong-learned entries.
+func (n *Network) Leave(p PeerID) {
+	if !n.alive[p] {
+		return
+	}
+	merged := n.Neighbors(p)
+	seen := make(map[PeerID]bool, len(merged)+len(n.hostCache[p]))
+	for _, q := range merged {
+		seen[q] = true
+	}
+	for _, q := range n.hostCache[p] {
+		if !seen[q] && len(merged) < maxHostCache {
+			seen[q] = true
+			merged = append(merged, q)
+		}
+	}
+	n.hostCache[p] = merged
+	for q := range n.nbr[p] {
+		delete(n.nbr[q], p)
+		n.edges--
+	}
+	clear(n.nbr[p])
+	n.alive[p] = false
+	n.nAlive--
+}
+
+// CacheAddresses replaces p's host cache with the given addresses (the
+// result of a Ping/Pong exchange). Duplicates and p itself are dropped.
+func (n *Network) CacheAddresses(p PeerID, addrs []PeerID) {
+	seen := make(map[PeerID]bool, len(addrs))
+	out := make([]PeerID, 0, len(addrs))
+	for _, a := range addrs {
+		if a != p && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	n.hostCache[p] = out
+}
+
+// AverageDegree reports the mean degree over live peers.
+func (n *Network) AverageDegree() float64 {
+	if n.nAlive == 0 {
+		return 0
+	}
+	return 2 * float64(n.edges) / float64(n.nAlive)
+}
+
+// IsConnected reports whether all live peers form one component.
+func (n *Network) IsConnected() bool {
+	peers := n.AlivePeers()
+	if len(peers) <= 1 {
+		return true
+	}
+	seen := map[PeerID]bool{peers[0]: true}
+	stack := []PeerID{peers[0]}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := range n.nbr[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return len(seen) == len(peers)
+}
+
+// Edge is one live overlay connection with its physical cost.
+type Edge struct {
+	P, Q PeerID
+	Cost float64
+}
+
+// SnapshotEdges returns every live connection once (P < Q), sorted, with
+// costs — used for serialization and invariant checks.
+func (n *Network) SnapshotEdges() []Edge {
+	out := make([]Edge, 0, n.edges)
+	for p := range n.nbr {
+		for q := range n.nbr[p] {
+			if PeerID(p) < q {
+				out = append(out, Edge{P: PeerID(p), Q: q, Cost: n.Cost(PeerID(p), q)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P < out[j].P
+		}
+		return out[i].Q < out[j].Q
+	})
+	return out
+}

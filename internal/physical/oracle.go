@@ -1,0 +1,170 @@
+// Package physical turns a generated physical topology into the delay
+// metric ACE measures in Phase 1: the cost between two peers is the delay
+// of the shortest physical path between their attachment nodes.
+//
+// The oracle runs one Dijkstra per queried source node over the physical
+// graph and caches the resulting distance vector (float32, ~4 bytes per
+// physical node), optionally bounded. Static experiments query the same
+// few thousand attachment points repeatedly, so the cache converges to
+// one vector per live peer.
+package physical
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ace/internal/graph"
+)
+
+// Oracle answers physical-delay queries between physical node indices.
+// It is safe for concurrent use.
+type Oracle struct {
+	g   *graph.Graph
+	cap int // max cached vectors; 0 = unbounded
+
+	mu    sync.RWMutex
+	cache map[int][]float32
+	order []int // insertion order for FIFO eviction
+	stats Stats
+}
+
+// Stats counts oracle activity, for overhead reporting and tests.
+type Stats struct {
+	Queries   uint64
+	Dijkstras uint64
+	Evictions uint64
+}
+
+// NewOracle returns an oracle over the physical graph g. cacheCap bounds
+// the number of cached source vectors (0 means unbounded).
+func NewOracle(g *graph.Graph, cacheCap int) *Oracle {
+	return &Oracle{g: g, cap: cacheCap, cache: make(map[int][]float32)}
+}
+
+// N reports the number of physical nodes.
+func (o *Oracle) N() int { return o.g.N() }
+
+// Delay returns the shortest-path delay between physical nodes u and v,
+// or +Inf when disconnected. It panics on out-of-range nodes (a
+// programming error, since attachment points come from the same graph).
+func (o *Oracle) Delay(u, v int) float64 {
+	if u < 0 || v < 0 || u >= o.g.N() || v >= o.g.N() {
+		panic(fmt.Sprintf("physical: delay query (%d,%d) out of range [0,%d)", u, v, o.g.N()))
+	}
+	if u == v {
+		return 0
+	}
+	o.mu.Lock()
+	o.stats.Queries++
+	if vec, ok := o.cache[u]; ok {
+		o.mu.Unlock()
+		return float64(vec[v])
+	}
+	if vec, ok := o.cache[v]; ok {
+		o.mu.Unlock()
+		return float64(vec[u])
+	}
+	o.mu.Unlock()
+	vec := o.vector(u)
+	return float64(vec[v])
+}
+
+// vector returns the cached distance vector for src, computing and
+// inserting it if absent.
+func (o *Oracle) vector(src int) []float32 {
+	dist, _ := graph.Dijkstra(o.g, src)
+	vec := make([]float32, len(dist))
+	for i, d := range dist {
+		vec[i] = float32(d)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if existing, ok := o.cache[src]; ok {
+		return existing // another goroutine raced us; keep theirs
+	}
+	o.stats.Dijkstras++
+	if o.cap > 0 && len(o.cache) >= o.cap {
+		victim := o.order[0]
+		o.order = o.order[1:]
+		delete(o.cache, victim)
+		o.stats.Evictions++
+	}
+	o.cache[src] = vec
+	o.order = append(o.order, src)
+	return vec
+}
+
+// Warm precomputes distance vectors for the given sources using up to
+// workers goroutines (<=0 means GOMAXPROCS). It is an optimization only;
+// Delay computes lazily regardless.
+func (o *Oracle) Warm(sources []int, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers == 0 {
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for src := range work {
+				o.mu.RLock()
+				_, ok := o.cache[src]
+				o.mu.RUnlock()
+				if !ok {
+					o.vector(src)
+				}
+			}
+		}()
+	}
+	for _, src := range sources {
+		work <- src
+	}
+	close(work)
+	wg.Wait()
+}
+
+// Vector returns the full distance vector from src (computing and
+// caching it if absent). The returned slice is shared with the cache and
+// MUST be treated as read-only; it lets hot loops (dense MST over a
+// closure) index distances directly instead of paying the lock per pair.
+func (o *Oracle) Vector(src int) []float32 {
+	if src < 0 || src >= o.g.N() {
+		panic(fmt.Sprintf("physical: vector source %d out of range [0,%d)", src, o.g.N()))
+	}
+	o.mu.RLock()
+	vec, ok := o.cache[src]
+	o.mu.RUnlock()
+	if ok {
+		return vec
+	}
+	return o.vector(src)
+}
+
+// Path returns the physical node sequence of the shortest path u→v,
+// recomputed on demand (used only for inspection and visualization).
+func (o *Oracle) Path(u, v int) []int {
+	_, parent := graph.Dijkstra(o.g, u)
+	return graph.PathTo(parent, u, v)
+}
+
+// Stats returns a snapshot of activity counters.
+func (o *Oracle) Stats() Stats {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.stats
+}
+
+// CacheSize reports the number of cached source vectors.
+func (o *Oracle) CacheSize() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.cache)
+}

@@ -1,0 +1,240 @@
+// Package report renders experiment output: the figure/curve data model
+// shared by every experiment driver, fixed-width tables matching the
+// paper's table layout, and ASCII charts for terminal inspection.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a curve.
+type Point struct {
+	X, Y float64
+}
+
+// Curve is one labelled series of a figure.
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is the data behind one paper figure: labelled curves over a
+// shared axis.
+type Figure struct {
+	ID     string // e.g. "fig7"
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []Curve
+}
+
+// Table mirrors the paper's tables: a header row plus string cells.
+type Table struct {
+	ID    string
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Cols))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	width := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		width[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", width[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// RenderSeries prints a figure as aligned data rows, one x per row and
+// one column per curve — the machine-greppable output of the benchmark
+// harness.
+func (f *Figure) RenderSeries() string {
+	// Collect the union of x values in order.
+	xsSet := map[float64]bool{}
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	tbl := Table{ID: f.ID, Title: f.Title, Cols: []string{f.XLabel}}
+	for _, c := range f.Curves {
+		tbl.Cols = append(tbl.Cols, c.Label)
+	}
+	lookup := make([]map[float64]float64, len(f.Curves))
+	for i, c := range f.Curves {
+		lookup[i] = make(map[float64]float64, len(c.Points))
+		for _, p := range c.Points {
+			lookup[i][p.X] = p.Y
+		}
+	}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for i := range f.Curves {
+			if y, ok := lookup[i][x]; ok {
+				row = append(row, trimFloat(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.Render()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Chart renders the figure as a rows×cols ASCII scatter chart, one rune
+// per curve, with min/max axis annotations — enough to eyeball the shape
+// the paper reports without leaving the terminal.
+func (f *Figure) Chart(rows, cols int) string {
+	if rows < 4 {
+		rows = 4
+	}
+	if cols < 16 {
+		cols = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return f.Title + ": (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, rows)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", cols))
+	}
+	marks := []rune("*o+x#@%&")
+	for ci, c := range f.Curves {
+		m := marks[ci%len(marks)]
+		for _, p := range c.Points {
+			x := int((p.X - minX) / (maxX - minX) * float64(cols-1))
+			y := int((p.Y - minY) / (maxY - minY) * float64(rows-1))
+			grid[rows-1-y][x] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "y: %s [%s, %s]\n", f.YLabel, trimFloat(minY), trimFloat(maxY))
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "+-%s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(&b, "x: %s [%s, %s]  ", f.XLabel, trimFloat(minX), trimFloat(maxX))
+	for ci, c := range f.Curves {
+		fmt.Fprintf(&b, "%c=%s ", marks[ci%len(marks)], c.Label)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated rows (header: x label then
+// one column per curve), for plotting outside the terminal.
+func (f *Figure) CSV() string {
+	xsSet := map[float64]bool{}
+	for _, c := range f.Curves {
+		for _, p := range c.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	lookup := make([]map[float64]float64, len(f.Curves))
+	for i, c := range f.Curves {
+		lookup[i] = make(map[float64]float64, len(c.Points))
+		for _, p := range c.Points {
+			lookup[i][p.X] = p.Y
+		}
+	}
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, c := range f.Curves {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c.Label))
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for i := range f.Curves {
+			b.WriteByte(',')
+			if y, ok := lookup[i][x]; ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

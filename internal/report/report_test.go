@@ -1,0 +1,104 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{ID: "table1", Title: "Query paths", Cols: []string{"From", "To", "Cost"}}
+	tbl.AddRow("E", "C, D", "15")
+	tbl.AddRow("C", "A") // short row pads
+	out := tbl.Render()
+	if !strings.Contains(out, "table1: Query paths") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "From") || !strings.Contains(lines[1], "Cost") {
+		t.Fatalf("header wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "E") {
+		t.Fatalf("row wrong: %q", lines[3])
+	}
+}
+
+func TestRenderSeriesAlignsCurves(t *testing.T) {
+	fig := Figure{
+		ID: "fig7", Title: "Traffic vs step", XLabel: "step",
+		Curves: []Curve{
+			{Label: "C=4", Points: []Point{{0, 100}, {1, 80}}},
+			{Label: "C=6", Points: []Point{{1, 90}, {2, 70}}},
+		},
+	}
+	out := fig.RenderSeries()
+	if !strings.Contains(out, "C=4") || !strings.Contains(out, "C=6") {
+		t.Fatalf("missing curve labels:\n%s", out)
+	}
+	// x=0 has no C=6 point → a dash.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "0") && !strings.Contains(line, "-") {
+			t.Fatalf("missing placeholder for absent point: %q", line)
+		}
+	}
+	if !strings.Contains(out, "2") {
+		t.Fatalf("missing x=2 row:\n%s", out)
+	}
+}
+
+func TestChart(t *testing.T) {
+	fig := Figure{
+		ID: "fig8", Title: "Response time", XLabel: "step", YLabel: "ms",
+		Curves: []Curve{{Label: "C=4", Points: []Point{{0, 10}, {5, 2}}}},
+	}
+	out := fig.Chart(6, 20)
+	if !strings.Contains(out, "fig8") || !strings.Contains(out, "*") {
+		t.Fatalf("chart missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "*=C=4") {
+		t.Fatalf("chart missing legend:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	fig := Figure{Title: "empty"}
+	if out := fig.Chart(5, 20); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestChartDegenerateRange(t *testing.T) {
+	fig := Figure{
+		ID: "x", Curves: []Curve{{Label: "a", Points: []Point{{1, 5}, {1, 5}}}},
+	}
+	out := fig.Chart(4, 16) // must not divide by zero
+	if !strings.Contains(out, "*") {
+		t.Fatalf("degenerate chart lost its point:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" {
+		t.Fatalf("trimFloat(3) = %q", trimFloat(3))
+	}
+	if trimFloat(3.14159) != "3.142" {
+		t.Fatalf("trimFloat(pi) = %q", trimFloat(3.14159))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	fig := Figure{
+		ID: "x", XLabel: "step, y",
+		Curves: []Curve{
+			{Label: "C=4", Points: []Point{{0, 10}, {1, 8}}},
+			{Label: "C=6", Points: []Point{{1, 9}}},
+		},
+	}
+	got := fig.CSV()
+	want := "\"step, y\",C=4,C=6\n0,10,\n1,8,9\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// Exp draws an exponentially distributed duration with the given mean.
+// It is used for Poisson query inter-arrival times (the paper's workload
+// issues 0.3 queries per peer per minute).
+func (r *RNG) Exp(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(r.ExpFloat64() * float64(mean))
+}
+
+// TruncNormal draws a normally distributed duration with the given mean
+// and standard deviation, truncated below at lo. The paper's peer
+// lifetimes use mean 10 minutes with variance equal to half the mean.
+func (r *RNG) TruncNormal(mean, stddev, lo time.Duration) time.Duration {
+	for i := 0; i < 64; i++ {
+		d := time.Duration(r.NormFloat64()*float64(stddev) + float64(mean))
+		if d >= lo {
+			return d
+		}
+	}
+	return lo
+}
+
+// Zipf draws integers in [0, n) with Zipf exponent s, rank 1 most likely.
+// It backs the file-popularity model in the file-sharing example.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s (> 0).
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Draw samples a rank in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

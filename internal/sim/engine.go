@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Action is a scheduled callback. It runs at its scheduled virtual time
+// with the engine clock already advanced.
+type Action func()
+
+type event struct {
+	at     time.Duration
+	seq    uint64 // tie-breaker: FIFO among events at the same instant
+	action Action
+	index  int
+	dead   bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer struct{ ev *event }
+
+// Engine is a single-threaded discrete-event scheduler with a virtual
+// clock. Events at equal timestamps run in scheduling order.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventHeap
+	nSteps uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps reports how many events have executed so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules action at absolute virtual time t. Scheduling in the past
+// clamps to the current time, preserving causal order.
+func (e *Engine) At(t time.Duration, action Action) Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, action: action}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Timer{ev: ev}
+}
+
+// After schedules action delay after the current virtual time.
+func (e *Engine) After(delay time.Duration, action Action) Timer {
+	return e.At(e.now+delay, action)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an already
+// executed or already cancelled timer is a no-op.
+func (t Timer) Cancel() {
+	if t.ev != nil {
+		t.ev.dead = true
+	}
+}
+
+// step executes the earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.nSteps++
+		ev.action()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline remain
+// queued.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.queue) > 0 {
+		// Peek: queue[0] is the heap minimum.
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if e.queue[0].at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

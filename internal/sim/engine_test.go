@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30*time.Millisecond, func() { got = append(got, 3) })
+	e.At(10*time.Millisecond, func() { got = append(got, 1) })
+	e.At(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("events at the same instant ran out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.At(time.Second, func() {
+		e.After(time.Second, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 1 || fired[0] != 2*time.Second {
+		t.Fatalf("nested event fired at %v, want [2s]", fired)
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(time.Second, func() {
+		e.At(0, func() {
+			ran = true
+			if e.Now() != time.Second {
+				t.Errorf("past event ran at %v, want clamp to 1s", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("clamped event never ran")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	tm := e.At(time.Second, func() { ran = true })
+	tm.Cancel()
+	tm.Cancel() // idempotent
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Steps() != 0 {
+		t.Fatalf("Steps = %d, want 0", e.Steps())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		e.At(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(got) != 3 {
+		t.Fatalf("RunUntil executed %d events, want 3", len(got))
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(10 * time.Second)
+	if len(got) != 5 {
+		t.Fatalf("second RunUntil executed %d total, want 5", len(got))
+	}
+	if e.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want advance to deadline 10s", e.Now())
+	}
+}
+
+func TestEngineRunUntilSkipsCancelledHead(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(time.Second, func() { t.Error("cancelled head ran") })
+	ran := false
+	e.At(2*time.Second, func() { ran = true })
+	tm.Cancel()
+	e.RunUntil(5 * time.Second)
+	if !ran {
+		t.Fatal("live event behind cancelled head did not run")
+	}
+}

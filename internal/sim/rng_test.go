@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDeriveReproducible(t *testing.T) {
+	root := NewRNG(7)
+	x := root.Derive("overlay").Int63()
+	y := NewRNG(7).Derive("overlay").Int63()
+	if x != y {
+		t.Fatal("Derive with same label not reproducible")
+	}
+	if NewRNG(7).Derive("overlay").Seed() == NewRNG(7).Derive("churn").Seed() {
+		t.Fatal("distinct labels collided")
+	}
+}
+
+func TestDeriveNDistinct(t *testing.T) {
+	root := NewRNG(99)
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		s := root.DeriveN("peer", i).Seed()
+		if seen[s] {
+			t.Fatalf("DeriveN seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestDeriveIndependentOfDrawOrder(t *testing.T) {
+	r1 := NewRNG(5)
+	r1.Int63() // consume from parent
+	a := r1.Derive("x").Int63()
+	b := NewRNG(5).Derive("x").Int63()
+	if a != b {
+		t.Fatal("derived stream depends on parent draw position")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(1)
+	const n = 200000
+	mean := 10 * time.Second
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-float64(mean)) > 0.05*float64(mean) {
+		t.Fatalf("Exp mean = %v, want ~%v", time.Duration(got), mean)
+	}
+	if r.Exp(0) != 0 || r.Exp(-time.Second) != 0 {
+		t.Fatal("Exp of non-positive mean should be 0")
+	}
+}
+
+func TestTruncNormal(t *testing.T) {
+	r := NewRNG(2)
+	mean, sd, lo := 10*time.Minute, 5*time.Minute, 30*time.Second
+	var sum time.Duration
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d := r.TruncNormal(mean, sd, lo)
+		if d < lo {
+			t.Fatalf("TruncNormal returned %v below floor %v", d, lo)
+		}
+		sum += d
+	}
+	got := time.Duration(float64(sum) / n)
+	// Truncation pulls the mean up slightly; allow 15%.
+	if got < mean || got > mean+mean*15/100 {
+		t.Fatalf("TruncNormal mean = %v, want within [%v, %v]", got, mean, mean+mean*15/100)
+	}
+}
+
+func TestZipfRankOrder(t *testing.T) {
+	r := NewRNG(3)
+	z := NewZipf(r, 100, 0.8)
+	counts := make([]int, 100)
+	for i := 0; i < 200000; i++ {
+		counts[z.Draw()]++
+	}
+	if !(counts[0] > counts[9] && counts[9] > counts[49]) {
+		t.Fatalf("Zipf counts not rank-ordered: c0=%d c9=%d c49=%d", counts[0], counts[9], counts[49])
+	}
+	// Ratio between rank 1 and rank 10 should be near 10^0.8 ~ 6.3.
+	ratio := float64(counts[0]) / float64(counts[9])
+	if ratio < 4 || ratio > 9 {
+		t.Fatalf("Zipf rank-1/rank-10 ratio = %.2f, want ~6.3", ratio)
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		size := int(n%50) + 1
+		z := NewZipf(NewRNG(seed), size, 1.0)
+		for i := 0; i < 100; i++ {
+			d := z.Draw()
+			if d < 0 || d >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	z := NewZipf(NewRNG(4), 0, 1.0)
+	if z.Draw() != 0 {
+		t.Fatal("degenerate Zipf should always draw 0")
+	}
+}

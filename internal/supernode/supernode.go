@@ -1,0 +1,174 @@
+// Package supernode implements the two-tier unstructured overlay of the
+// paper's introduction ("queries are flooded among peers (such as in
+// Gnutella) or among supernodes (such as in KaZaA)"): ordinary leaf
+// peers attach to supernodes and publish their content index there;
+// queries travel leaf → supernode, flood among supernodes only, and
+// supernodes answer on behalf of their leaves. ACE then optimizes the
+// supernode tier exactly as it optimizes a flat Gnutella overlay.
+package supernode
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ace/internal/core"
+	"ace/internal/gnutella"
+	"ace/internal/overlay"
+	"ace/internal/physical"
+	"ace/internal/sim"
+)
+
+// Leaf is an ordinary peer attached to a supernode.
+type Leaf struct {
+	ID     int
+	Attach int            // physical node
+	Super  overlay.PeerID // the supernode it is homed on
+}
+
+// AssignPolicy selects how leaves pick their supernode.
+type AssignPolicy int
+
+const (
+	// AssignRandom mirrors real bootstrap: a uniformly random
+	// supernode, regardless of physical distance — the two-tier version
+	// of the mismatch problem.
+	AssignRandom AssignPolicy = iota + 1
+	// AssignNearest homes each leaf on the physically nearest of a few
+	// random candidates, as locality-aware clients do.
+	AssignNearest
+)
+
+// String implements fmt.Stringer.
+func (p AssignPolicy) String() string {
+	switch p {
+	case AssignRandom:
+		return "random"
+	case AssignNearest:
+		return "nearest"
+	default:
+		return fmt.Sprintf("assign(%d)", int(p))
+	}
+}
+
+// Tier is a two-tier overlay: a supernode Network plus homed leaves.
+type Tier struct {
+	Super  *overlay.Network
+	oracle *physical.Oracle
+	leaves []Leaf
+	byHome map[overlay.PeerID][]int // supernode -> leaf ids
+	// index maps keyword -> supernodes whose leaves hold it.
+	index map[int]map[overlay.PeerID]bool
+}
+
+// Build homes nLeaves leaves (on distinct physical nodes drawn from
+// [0, physN) that are disjoint from the supernode attachments) onto the
+// given supernode network.
+func Build(rng *sim.RNG, super *overlay.Network, oracle *physical.Oracle, nLeaves int, policy AssignPolicy) (*Tier, error) {
+	if nLeaves < 1 {
+		return nil, fmt.Errorf("supernode: need at least one leaf")
+	}
+	supers := super.AlivePeers()
+	if len(supers) == 0 {
+		return nil, fmt.Errorf("supernode: no live supernodes")
+	}
+	used := make(map[int]bool, super.N())
+	for p := 0; p < super.N(); p++ {
+		used[super.Attachment(overlay.PeerID(p))] = true
+	}
+	var free []int
+	for n := 0; n < oracle.N(); n++ {
+		if !used[n] {
+			free = append(free, n)
+		}
+	}
+	if len(free) < nLeaves {
+		return nil, fmt.Errorf("supernode: %d leaves exceed %d free physical nodes", nLeaves, len(free))
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+
+	t := &Tier{
+		Super:  super,
+		oracle: oracle,
+		byHome: make(map[overlay.PeerID][]int),
+		index:  make(map[int]map[overlay.PeerID]bool),
+	}
+	for i := 0; i < nLeaves; i++ {
+		attach := free[i]
+		var home overlay.PeerID
+		switch policy {
+		case AssignNearest:
+			// Probe a handful of random supernodes, pick the nearest.
+			best, bestCost := overlay.PeerID(-1), math.Inf(1)
+			for k := 0; k < 5; k++ {
+				s := supers[rng.Intn(len(supers))]
+				if c := oracle.Delay(attach, super.Attachment(s)); c < bestCost {
+					best, bestCost = s, c
+				}
+			}
+			home = best
+		case AssignRandom:
+			home = supers[rng.Intn(len(supers))]
+		default:
+			return nil, fmt.Errorf("supernode: unknown assign policy %d", int(policy))
+		}
+		t.leaves = append(t.leaves, Leaf{ID: i, Attach: attach, Super: home})
+		t.byHome[home] = append(t.byHome[home], i)
+	}
+	return t, nil
+}
+
+// NumLeaves reports the leaf population.
+func (t *Tier) NumLeaves() int { return len(t.leaves) }
+
+// Leaf returns leaf id's record.
+func (t *Tier) Leaf(id int) Leaf { return t.leaves[id] }
+
+// LeavesOf returns the leaf ids homed on supernode s, sorted.
+func (t *Tier) LeavesOf(s overlay.PeerID) []int {
+	out := append([]int(nil), t.byHome[s]...)
+	sort.Ints(out)
+	return out
+}
+
+// Publish records that leaf id shares keyword: its supernode indexes it.
+func (t *Tier) Publish(id, keyword int) {
+	home := t.leaves[id].Super
+	m, ok := t.index[keyword]
+	if !ok {
+		m = make(map[overlay.PeerID]bool)
+		t.index[keyword] = m
+	}
+	m[home] = true
+}
+
+// UplinkCost is the physical delay between a leaf and its supernode.
+func (t *Tier) UplinkCost(id int) float64 {
+	l := t.leaves[id]
+	return t.oracle.Delay(l.Attach, t.Super.Attachment(l.Super))
+}
+
+// QueryResult extends the flood metrics with the leaf uplink legs.
+type QueryResult struct {
+	gnutella.QueryResult
+	// UplinkCost is the leaf→supernode (and back) traffic added to
+	// TrafficCost.
+	UplinkCost float64
+}
+
+// Query floods keyword from leaf src's supernode across the supernode
+// tier with the given forwarder; supernodes whose index lists the
+// keyword respond. The leaf's uplink cost is added to both traffic and
+// response time.
+func (t *Tier) Query(fwd core.Forwarder, src, keyword, ttl int) QueryResult {
+	l := t.leaves[src]
+	uplink := t.UplinkCost(src)
+	responders := t.index[keyword]
+	r := gnutella.Evaluate(t.Super, fwd, l.Super, ttl, responders)
+	out := QueryResult{QueryResult: r, UplinkCost: 2 * uplink}
+	out.TrafficCost += 2 * uplink
+	if !math.IsInf(out.FirstResponse, 1) {
+		out.FirstResponse += 2 * uplink
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"math"
+	"sort"
+
+	"ace/internal/graph"
+	"ace/internal/sim"
+)
+
+// Properties summarizes the structural statistics the paper cites:
+// power-law degree distribution (Faloutsos) and small-world behaviour
+// (short characteristic path length with clustering well above a random
+// graph of the same density).
+type Properties struct {
+	Nodes, Edges  int
+	MeanDegree    float64
+	MaxDegree     int
+	PowerLawAlpha float64 // MLE exponent of the degree tail
+	Clustering    float64 // mean local clustering coefficient (sampled)
+	AvgPathLen    float64 // mean shortest-path hop count (sampled)
+	Connected     bool
+}
+
+// Measure computes Properties, sampling expensive statistics with at most
+// sampleSize source nodes (<=0 means 64).
+func Measure(rng *sim.RNG, g *graph.Graph, sampleSize int) Properties {
+	if sampleSize <= 0 {
+		sampleSize = 64
+	}
+	n := g.N()
+	p := Properties{Nodes: n, Edges: g.M(), MaxDegree: 0}
+	if n == 0 {
+		return p
+	}
+	degSum := 0
+	for u := 0; u < n; u++ {
+		d := g.Degree(u)
+		degSum += d
+		if d > p.MaxDegree {
+			p.MaxDegree = d
+		}
+	}
+	p.MeanDegree = float64(degSum) / float64(n)
+	p.PowerLawAlpha = powerLawAlpha(g)
+	_, count := graph.Components(g)
+	p.Connected = count == 1
+
+	sample := sampleNodes(rng, n, sampleSize)
+	p.Clustering = clustering(g, sample)
+	p.AvgPathLen = avgPathLen(g, sample)
+	return p
+}
+
+// powerLawAlpha estimates the exponent of P(deg = k) ∝ k^−α by the
+// discrete maximum-likelihood estimator α ≈ 1 + n/Σ ln(d_i/(dmin−½)),
+// using the minimum positive degree as dmin.
+func powerLawAlpha(g *graph.Graph) float64 {
+	dmin := math.MaxInt
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d > 0 && d < dmin {
+			dmin = d
+		}
+	}
+	if dmin == math.MaxInt {
+		return 0
+	}
+	sum, count := 0.0, 0
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d >= dmin {
+			sum += math.Log(float64(d) / (float64(dmin) - 0.5))
+			count++
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return 1 + float64(count)/sum
+}
+
+func sampleNodes(rng *sim.RNG, n, k int) []int {
+	if k >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	perm := rng.Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	sort.Ints(out)
+	return out
+}
+
+// clustering computes the mean local clustering coefficient over sample.
+func clustering(g *graph.Graph, sample []int) float64 {
+	total, counted := 0.0, 0
+	for _, u := range sample {
+		nb := g.Neighbors(u)
+		if len(nb) < 2 {
+			continue
+		}
+		set := make(map[int]bool, len(nb))
+		for _, a := range nb {
+			set[a.To] = true
+		}
+		links := 0
+		for _, a := range nb {
+			for _, b := range g.Neighbors(a.To) {
+				if b.To > a.To && set[b.To] {
+					links++
+				}
+			}
+		}
+		k := len(nb)
+		total += 2 * float64(links) / float64(k*(k-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// avgPathLen computes the mean hop distance from sampled sources to every
+// reachable node via BFS.
+func avgPathLen(g *graph.Graph, sample []int) float64 {
+	totalHops, pairs := 0.0, 0
+	dist := make([]int, g.N())
+	queue := make([]int, 0, g.N())
+	for _, src := range sample {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], src)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range g.Neighbors(u) {
+				if dist[a.To] == -1 {
+					dist[a.To] = dist[u] + 1
+					queue = append(queue, a.To)
+				}
+			}
+		}
+		for v, d := range dist {
+			if d > 0 && v != src {
+				totalHops += float64(d)
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return totalHops / float64(pairs)
+}
