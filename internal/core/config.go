@@ -83,6 +83,17 @@ type Config struct {
 	// is what re-knits pairs severed by Phase-3 rewiring.
 	MinDegree int
 
+	// RebuildFraction is the dirty-region share of the live population
+	// above which RebuildTrees abandons the incremental path and
+	// rebuilds every peer (walking a dirty set close to N costs more
+	// than the flat sweep). 0 selects DefaultRebuildFraction; values
+	// >= 1 never fall back.
+	RebuildFraction float64
+	// NoIncremental forces every RebuildTrees to reconstruct all peer
+	// states from scratch — the pre-journal behavior, kept as the
+	// reference side of the differential tests and as an escape hatch.
+	NoIncremental bool
+
 	// SparseKnowledge is an ABLATION switch: build Phase-2 trees over
 	// only the overlay subgraph inside the closure instead of the
 	// complete pairwise cost graph (DESIGN.md §5.1 argues the paper's
@@ -139,6 +150,9 @@ func (c Config) validate() error {
 	}
 	if c.MinDegree < 0 {
 		return fmt.Errorf("core: negative MinDegree")
+	}
+	if c.RebuildFraction < 0 {
+		return fmt.Errorf("core: negative RebuildFraction")
 	}
 	return nil
 }

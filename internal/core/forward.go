@@ -92,7 +92,7 @@ func (b BlindFlooding) Forward(_, p, from, _ overlay.PeerID, _ TreeAdj, _ *Cover
 	if !first {
 		return nil
 	}
-	nbrs := b.Net.Neighbors(p)
+	nbrs := b.Net.NeighborsView(p)
 	out := make([]Send, 0, len(nbrs))
 	for _, q := range nbrs {
 		if q != from {
@@ -190,7 +190,7 @@ func (t TreeForwarding) pruneLaunch(st *PeerState, p overlay.PeerID, covered *Co
 		}
 	} else {
 		neighbors := make(map[overlay.PeerID]bool, len(st.Closure))
-		for _, q := range net.Neighbors(p) {
+		for _, q := range net.NeighborsView(p) {
 			neighbors[q] = true
 		}
 		// Covered members of p's closure are the rival claimants p

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ace/internal/overlay"
+	"ace/internal/physical"
+	"ace/internal/sim"
+	"ace/internal/topology"
+)
+
+// diffSide is one half of a differential run: a network plus an optimizer
+// over it, with dedicated RNG streams so the incremental and full sides
+// draw identical random sequences as long as their networks agree.
+type diffSide struct {
+	net   *overlay.Network
+	opt   *Optimizer
+	churn *sim.RNG
+	round *sim.RNG
+}
+
+func newDiffSide(t *testing.T, seed int64, cfg Config) *diffSide {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	phys, err := topology.GenerateBA(rng.Derive("phys"), topology.DefaultBASpec(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach, err := overlay.RandomAttachments(rng.Derive("attach"), 400, 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := overlay.NewNetwork(physical.NewOracle(phys.Graph, 0), attach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := overlay.GenerateRandom(rng.Derive("gen"), net, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Kill a block of peers so churn has a dead pool to rejoin from.
+	for p := 200; p < 260; p++ {
+		net.Leave(overlay.PeerID(p))
+	}
+	opt, err := NewOptimizer(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &diffSide{
+		net:   net,
+		opt:   opt,
+		churn: sim.NewRNG(seed + 1),
+		round: sim.NewRNG(seed + 2),
+	}
+}
+
+// churnStep removes k random live peers and rejoins k random dead ones.
+func (s *diffSide) churnStep(k int) {
+	n := s.net.N()
+	for i := 0; i < k; i++ {
+		var live, dead []overlay.PeerID
+		for p := 0; p < n; p++ {
+			if s.net.Alive(overlay.PeerID(p)) {
+				live = append(live, overlay.PeerID(p))
+			} else {
+				dead = append(dead, overlay.PeerID(p))
+			}
+		}
+		s.net.Leave(live[s.churn.Intn(len(live))])
+		s.net.Join(s.churn, dead[s.churn.Intn(len(dead))], 3)
+	}
+}
+
+func requireSameStates(t *testing.T, round int, inc, full *Optimizer, n int) {
+	t.Helper()
+	for p := 0; p < n; p++ {
+		pid := overlay.PeerID(p)
+		a, b := inc.State(pid), full.State(pid)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("round %d: peer %d present in one side only (inc=%v full=%v)",
+				round, p, a != nil, b != nil)
+		}
+		if a != nil && !reflect.DeepEqual(a, b) {
+			t.Fatalf("round %d: peer %d state diverged\nincremental: %+v\nfull:        %+v",
+				round, p, a, b)
+		}
+	}
+}
+
+func requireSameEdges(t *testing.T, round int, inc, full *overlay.Network) {
+	t.Helper()
+	ea, eb := inc.SnapshotEdges(), full.SnapshotEdges()
+	if !reflect.DeepEqual(ea, eb) {
+		t.Fatalf("round %d: overlays diverged (%d vs %d edges)", round, len(ea), len(eb))
+	}
+}
+
+// TestIncrementalMatchesFullRebuild is the tentpole's differential proof:
+// two identically seeded systems run the same churn workload for 200+
+// rounds, one reconstructing Phase 1–2 state incrementally from the
+// mutation journal and one rebuilding everything every round. Every
+// PeerState, every StepReport (including the float exchange cost, which
+// must match bit-for-bit), and every overlay edge must agree after every
+// round.
+func TestIncrementalMatchesFullRebuild(t *testing.T) {
+	const seed = 20240806
+	const rounds = 210
+
+	incCfg := DefaultConfig(2)
+	incCfg.RebuildFraction = 1 // never fall back: exercise the dirty-region path every round
+	fullCfg := DefaultConfig(2)
+	fullCfg.NoIncremental = true
+
+	inc := newDiffSide(t, seed, incCfg)
+	full := newDiffSide(t, seed, fullCfg)
+	requireSameEdges(t, -1, inc.net, full.net)
+
+	for r := 0; r < rounds; r++ {
+		inc.churnStep(2)
+		full.churnStep(2)
+		ri := inc.opt.Round(inc.round)
+		rf := full.opt.Round(full.round)
+		if ri != rf {
+			t.Fatalf("round %d: reports diverged\nincremental: %+v\nfull:        %+v", r, ri, rf)
+		}
+		requireSameStates(t, r, inc.opt, full.opt, inc.net.N())
+		requireSameEdges(t, r, inc.net, full.net)
+	}
+
+	is, fs := inc.opt.RebuildStats(), full.opt.RebuildStats()
+	if is.Incremental < rounds-10 {
+		t.Fatalf("incremental path barely ran: %+v", is)
+	}
+	if fs.Incremental != 0 || fs.Full != rounds {
+		t.Fatalf("full side took the incremental path: %+v", fs)
+	}
+	// No PeersRebuilt assertion here: at this tiny scale Phase 3 rewires
+	// edges all over the graph every round, so the dirty region covering
+	// most peers is the correct answer. The savings regime is exercised
+	// by TestIncrementalChurnOnlySavesWork.
+	t.Logf("incremental: %+v, full: %+v", is, fs)
+}
+
+// TestIncrementalChurnOnlySavesWork drives only membership churn (no
+// Phase 3) and checks that the dirty region stays a small fraction of the
+// population while the rebuilt state and exchange cost remain exactly
+// equal to the full-rebuild side. This is the steady-state regime the
+// incremental engine is built for.
+func TestIncrementalChurnOnlySavesWork(t *testing.T) {
+	const seed = 9
+	const rounds = 200
+
+	incCfg := DefaultConfig(1)
+	incCfg.RebuildFraction = 1
+	fullCfg := DefaultConfig(1)
+	fullCfg.NoIncremental = true
+
+	inc := newDiffSide(t, seed, incCfg)
+	full := newDiffSide(t, seed, fullCfg)
+
+	for r := 0; r < rounds; r++ {
+		inc.churnStep(1)
+		full.churnStep(1)
+		ci := inc.opt.RebuildTrees()
+		cf := full.opt.RebuildTrees()
+		if ci != cf {
+			t.Fatalf("round %d: exchange cost diverged: %v vs %v", r, ci, cf)
+		}
+		requireSameStates(t, r, inc.opt, full.opt, inc.net.N())
+	}
+
+	is, fs := inc.opt.RebuildStats(), full.opt.RebuildStats()
+	if is.Incremental < rounds-10 {
+		t.Fatalf("incremental path barely ran: %+v", is)
+	}
+	if is.PeersRebuilt*2 >= fs.PeersRebuilt {
+		t.Fatalf("incremental rebuilt %d peers vs full %d; dirty regions are not saving work",
+			is.PeersRebuilt, fs.PeersRebuilt)
+	}
+	t.Logf("churn-only: incremental %+v vs full %+v", is, fs)
+}
+
+// TestIncrementalWithFallbackThreshold runs the same differential check
+// with the default RebuildFraction, so rounds whose dirty region grows
+// past the threshold exercise the mixed incremental/full regime and the
+// resync bookkeeping around it.
+func TestIncrementalWithFallbackThreshold(t *testing.T) {
+	const seed = 77
+	const rounds = 60
+
+	incCfg := DefaultConfig(2) // RebuildFraction 0 -> DefaultRebuildFraction
+	fullCfg := DefaultConfig(2)
+	fullCfg.NoIncremental = true
+
+	inc := newDiffSide(t, seed, incCfg)
+	full := newDiffSide(t, seed, fullCfg)
+
+	for r := 0; r < rounds; r++ {
+		inc.churnStep(1)
+		full.churnStep(1)
+		ri := inc.opt.Round(inc.round)
+		rf := full.opt.Round(full.round)
+		if ri != rf {
+			t.Fatalf("round %d: reports diverged\nincremental: %+v\nfull:        %+v", r, ri, rf)
+		}
+		requireSameStates(t, r, inc.opt, full.opt, inc.net.N())
+		requireSameEdges(t, r, inc.net, full.net)
+	}
+	t.Logf("stats with fallback: %+v", inc.opt.RebuildStats())
+}
+
+// TestRebuildTreesQuiescentIsFree checks the fastest path: with no
+// journaled events between rounds, an incremental rebuild reconstructs
+// nothing and the exchange cost still prices every live peer.
+func TestRebuildTreesQuiescentIsFree(t *testing.T) {
+	side := newDiffSide(t, 5, DefaultConfig(2))
+	first := side.opt.RebuildTrees()
+	before := side.opt.RebuildStats()
+	if before.Full != 1 {
+		t.Fatalf("first rebuild not full: %+v", before)
+	}
+	again := side.opt.RebuildTrees()
+	after := side.opt.RebuildStats()
+	if after.PeersRebuilt != before.PeersRebuilt {
+		t.Fatalf("quiescent rebuild reconstructed states: %+v -> %+v", before, after)
+	}
+	if first != again {
+		t.Fatalf("exchange cost drifted while idle: %v vs %v", first, again)
+	}
+}

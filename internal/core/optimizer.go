@@ -13,6 +13,14 @@ import (
 // Optimizer runs ACE over an overlay network. It owns per-peer state and
 // mutates the network's connections in Phase 3. It is not safe for
 // concurrent use; simulators drive it from one goroutine.
+//
+// Phase 1–2 state is maintained INCREMENTALLY: the optimizer holds a
+// cursor into the network's mutation journal, and each RebuildTrees
+// rebuilds only the peers whose h-closure a journaled event could have
+// touched (the dirty region), keeping every other PeerState cached from
+// the previous round. A full rebuild runs on the first round, when the
+// journal no longer reaches the cursor, or when the dirty region exceeds
+// RebuildFraction of the live population.
 type Optimizer struct {
 	net *overlay.Network
 	cfg Config
@@ -26,7 +34,33 @@ type Optimizer struct {
 	// PendingTTL rounds, so tentative links cannot accumulate.
 	pending map[overlay.PeerID]map[overlay.PeerID]pendingCut
 
+	// contrib caches each built peer's exchange-cost contribution (its
+	// per-cycle probe + table traffic). It changes exactly when the
+	// peer's state is rebuilt — a changed neighbor list makes the peer a
+	// journal endpoint, hence dirty — so exchangeCost is a sum over the
+	// live population instead of an O(edges) oracle sweep per round.
+	contrib map[overlay.PeerID]float64
+
+	// cursor is the journal position o.state reflects; synced holds off
+	// the incremental path until the first full rebuild exists.
+	cursor uint64
+	synced bool
+	stats  RebuildStats
+
+	// Scratch buffers reused across rounds; valid only single-threaded.
+	aliveBuf []overlay.PeerID
+	dirtyBuf []overlay.PeerID
+	candBuf  []overlay.PeerID
+
 	totalOverhead float64 // accumulated probe + exchange traffic cost
+}
+
+// RebuildStats counts how RebuildTrees executions resolved, for tests and
+// benchmarks that assert the incremental path is actually taken.
+type RebuildStats struct {
+	Full         int // rebuilds that rebuilt every live peer
+	Incremental  int // rebuilds that rebuilt only the dirty region
+	PeersRebuilt int // total PeerStates constructed
 }
 
 // pendingCut is one outstanding Figure-4(c) experiment.
@@ -42,6 +76,11 @@ const PendingTTL = 3
 // MaxPending caps a peer's outstanding Figure-4(c) experiments, bounding
 // the tentative extra degree a peer carries.
 const MaxPending = 2
+
+// DefaultRebuildFraction is the dirty-region share of the live population
+// above which the incremental path falls back to a full rebuild (walking
+// a dirty set close to N costs more than the flat sweep).
+const DefaultRebuildFraction = 0.25
 
 // StepReport summarizes one ACE round for instrumentation and tests.
 type StepReport struct {
@@ -66,6 +105,7 @@ func NewOptimizer(net *overlay.Network, cfg Config) (*Optimizer, error) {
 		cfg:     cfg,
 		state:   make(map[overlay.PeerID]*PeerState),
 		pending: make(map[overlay.PeerID]map[overlay.PeerID]pendingCut),
+		contrib: make(map[overlay.PeerID]float64),
 	}, nil
 }
 
@@ -79,24 +119,161 @@ func (o *Optimizer) Network() *overlay.Network { return o.net }
 // p had none (dead, or joined after the last round).
 func (o *Optimizer) State(p overlay.PeerID) *PeerState { return o.state[p] }
 
-// RebuildTrees runs Phases 1–2 for every live peer: probe costs, exchange
-// tables, build the closure MSTs, and split neighbors into flooding and
-// non-flooding sets. It returns the traffic cost of this exchange cycle
-// and accumulates it into TotalOverhead.
-// Peers build their states independently in the real protocol, and here
-// too: the per-peer builds fan out over a worker pool (the network is
-// not mutated during a rebuild, and the distance oracle is safe for
-// concurrent reads), with results committed in deterministic order.
+// RebuildStats reports how rebuilds resolved since construction.
+func (o *Optimizer) RebuildStats() RebuildStats { return o.stats }
+
+// alivePeers refreshes and returns the reusable live-peer slice; it stays
+// valid for the rest of the round because rounds never change liveness.
+func (o *Optimizer) alivePeers() []overlay.PeerID {
+	o.aliveBuf = o.net.AlivePeersAppend(o.aliveBuf[:0])
+	return o.aliveBuf
+}
+
+// RebuildTrees runs Phases 1–2: probe costs, exchange tables, build the
+// closure MSTs, and split neighbors into flooding and non-flooding sets —
+// incrementally when the journal shows only local change, from scratch
+// otherwise. It returns the traffic cost of this exchange cycle and
+// accumulates it into TotalOverhead. (The exchange itself is priced in
+// full either way: every peer re-probes and re-ships its table each
+// cycle; only the simulator-side state reconstruction is incremental.)
 func (o *Optimizer) RebuildTrees() float64 {
+	peers := o.alivePeers()
+	o.rebuild(peers)
+	cost := o.exchangeCost(peers)
+	o.totalOverhead += cost
+	return cost
+}
+
+// rebuild brings o.state in sync with the network, choosing between the
+// dirty-region and full paths.
+func (o *Optimizer) rebuild(peers []overlay.PeerID) {
+	events, next, ok := o.net.EventsSince(o.cursor)
+	if o.synced && ok && !o.cfg.NoIncremental {
+		if len(events) == 0 {
+			o.cursor = next
+			return
+		}
+		if dirty := o.dirtyRegion(events, len(peers)); dirty != nil {
+			o.rebuildDirty(events, dirty, peers)
+			o.cursor = next
+			o.net.CompactJournal(o.cursor)
+			return
+		}
+	}
 	clear(o.state)
-	peers := o.net.AlivePeers()
-	states := make([]*PeerState, len(peers))
+	clear(o.contrib)
+	o.buildStates(peers)
+	o.stats.Full++
+	o.cursor = next
+	o.synced = true
+	o.net.CompactJournal(o.cursor)
+}
+
+// dirtyRegion expands the journaled endpoints to every peer within Depth
+// hops of one, over the UNION of the old and new adjacency (removed edges
+// resurrect old paths, so peers whose former closure lost a member are
+// found even when the current graph no longer connects them). It returns
+// nil when the region exceeds the RebuildFraction threshold and a full
+// rebuild is the better deal.
+func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) map[overlay.PeerID]bool {
+	frac := o.cfg.RebuildFraction
+	if frac == 0 {
+		frac = DefaultRebuildFraction
+	}
+	// The dirty region may include dead peers (reached through removed
+	// edges), so "never fall back" means a bound of every slot.
+	limit := o.net.N()
+	if frac < 1 {
+		limit = int(frac * float64(nAlive))
+	}
+
+	dirty := make(map[overlay.PeerID]bool, 4*len(events))
+	frontier := o.dirtyBuf[:0]
+	var removed map[overlay.PeerID][]overlay.PeerID
+	for _, ev := range events {
+		if !dirty[ev.P] {
+			dirty[ev.P] = true
+			frontier = append(frontier, ev.P)
+		}
+		if ev.Q >= 0 {
+			if !dirty[ev.Q] {
+				dirty[ev.Q] = true
+				frontier = append(frontier, ev.Q)
+			}
+			if ev.Kind == overlay.EventDisconnect {
+				if removed == nil {
+					removed = make(map[overlay.PeerID][]overlay.PeerID)
+				}
+				removed[ev.P] = append(removed[ev.P], ev.Q)
+				removed[ev.Q] = append(removed[ev.Q], ev.P)
+			}
+		}
+	}
+	if len(dirty) > limit {
+		o.dirtyBuf = frontier
+		return nil
+	}
+	for d := 0; d < o.cfg.Depth && len(frontier) > 0; d++ {
+		var next []overlay.PeerID
+		grow := func(v overlay.PeerID) {
+			if !dirty[v] {
+				dirty[v] = true
+				next = append(next, v)
+			}
+		}
+		for _, u := range frontier {
+			for _, v := range o.net.NeighborsView(u) {
+				grow(v)
+			}
+			for _, v := range removed[u] {
+				grow(v)
+			}
+		}
+		if len(dirty) > limit {
+			o.dirtyBuf = frontier[:0]
+			return nil
+		}
+		frontier = next
+	}
+	o.dirtyBuf = frontier[:0]
+	return dirty
+}
+
+// rebuildDirty drops state of departed peers and rebuilds the live dirty
+// region, leaving every other cached PeerState untouched.
+func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty map[overlay.PeerID]bool, peers []overlay.PeerID) {
+	for _, ev := range events {
+		if ev.Kind == overlay.EventLeave {
+			delete(o.state, ev.P)
+			delete(o.contrib, ev.P)
+		}
+	}
+	list := o.dirtyBuf[:0]
+	for _, p := range peers {
+		if dirty[p] {
+			list = append(list, p)
+		}
+	}
+	o.buildStates(list)
+	o.dirtyBuf = list[:0]
+	o.stats.Incremental++
+}
+
+// buildStates runs Phases 1–2 for the listed peers over a worker pool
+// (the network is not mutated during a rebuild, and the distance oracle
+// is safe for concurrent reads), committing results and exchange
+// contributions in deterministic order.
+func (o *Optimizer) buildStates(list []overlay.PeerID) {
+	if len(list) == 0 {
+		return
+	}
+	states := make([]*PeerState, len(list))
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(peers) {
-		workers = len(peers)
+	if workers > len(list) {
+		workers = len(list)
 	}
 	if workers <= 1 {
-		for i, p := range peers {
+		for i, p := range list {
 			states[i] = buildState(o.net, p, o.cfg.Depth, o.cfg.SparseKnowledge)
 		}
 	} else {
@@ -107,55 +284,64 @@ func (o *Optimizer) RebuildTrees() float64 {
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					states[i] = buildState(o.net, peers[i], o.cfg.Depth, o.cfg.SparseKnowledge)
+					states[i] = buildState(o.net, list[i], o.cfg.Depth, o.cfg.SparseKnowledge)
 				}
 			}()
 		}
-		for i := range peers {
+		for i := range list {
 			work <- i
 		}
 		close(work)
 		wg.Wait()
 	}
-	for i, p := range peers {
+	for i, p := range list {
 		o.state[p] = states[i]
+		o.contrib[p] = o.exchangeContribution(p, states[i])
 	}
-	cost := o.exchangeCost()
-	o.totalOverhead += cost
-	return cost
+	o.stats.PeersRebuilt += len(list)
 }
 
-// exchangeCost prices one cost-table exchange cycle: each peer re-probes
-// its direct neighbors and ships its accumulated pairwise cost knowledge
-// (which grows with the closure, |closure|·(|closure|−1)/2 entries) to
-// every neighbor. Message bytes scale with entry count; transport cost
-// scales with the physical delay of the logical link.
-func (o *Optimizer) exchangeCost() float64 {
+// exchangeContribution prices one peer's share of a cost-table exchange
+// cycle: it re-probes its direct neighbors and ships its accumulated
+// pairwise cost knowledge (which grows with the closure,
+// |closure|·(|closure|−1)/2 entries) to every neighbor. Message bytes
+// scale with entry count; transport cost scales with the physical delay
+// of the logical link.
+func (o *Optimizer) exchangeContribution(p overlay.PeerID, st *PeerState) float64 {
+	entries := float64(st.KnownPairs)
 	total := 0.0
-	for _, p := range o.net.AlivePeers() {
-		st, ok := o.state[p]
-		if !ok {
-			continue
-		}
-		entries := float64(st.KnownPairs)
-		for _, q := range o.net.Neighbors(p) {
-			link := o.net.Cost(p, q)
-			// One probe round trip plus one table message per neighbor
-			// per cycle; the table message pays a fixed header plus its
-			// entries.
-			total += link * (o.cfg.ProbeCost + o.cfg.ExchangeHeaderCost + o.cfg.TableEntryCost*entries)
-		}
+	for _, q := range o.net.NeighborsView(p) {
+		link := o.net.Cost(p, q)
+		// One probe round trip plus one table message per neighbor
+		// per cycle; the table message pays a fixed header plus its
+		// entries.
+		total += link * (o.cfg.ProbeCost + o.cfg.ExchangeHeaderCost + o.cfg.TableEntryCost*entries)
+	}
+	return total
+}
+
+// exchangeCost sums the cached per-peer contributions in ascending peer
+// order (deterministic float accumulation).
+func (o *Optimizer) exchangeCost(peers []overlay.PeerID) float64 {
+	total := 0.0
+	for _, p := range peers {
+		total += o.contrib[p]
 	}
 	return total
 }
 
 // Round executes one full ACE step: Phases 1–2 (rebuild) followed by
 // Phase 3 (one replacement attempt per peer, per the configured policy).
+// The live-peer slice is computed once and threaded through the whole
+// round — rounds rewire edges but never change liveness.
 func (o *Optimizer) Round(rng *sim.RNG) StepReport {
-	report := StepReport{ExchangeCost: o.RebuildTrees()}
+	peers := o.alivePeers()
+	o.rebuild(peers)
+	cost := o.exchangeCost(peers)
+	o.totalOverhead += cost
+	report := StepReport{ExchangeCost: cost}
 	o.executePendingCuts(&report)
 
-	peers := o.net.AlivePeers()
 	for _, p := range peers {
 		if !o.net.Alive(p) {
 			continue // cut as a side effect earlier in this round
@@ -173,24 +359,20 @@ func (o *Optimizer) Round(rng *sim.RNG) StepReport {
 			o.phase3Closest(p, st, &report)
 		}
 	}
-	o.maintainMinDegree(rng, &report)
+	o.maintainMinDegree(rng, peers, &report)
 	o.totalOverhead += report.ProbeTraffic
 	return report
 }
 
 // maintainMinDegree opens fresh bootstrap connections for peers that
 // fell below the client connection floor, re-knitting any fragments
-// Phase-3 rewiring severed.
-func (o *Optimizer) maintainMinDegree(rng *sim.RNG, report *StepReport) {
+// Phase-3 rewiring severed. alive is the round's live-peer slice.
+func (o *Optimizer) maintainMinDegree(rng *sim.RNG, alive []overlay.PeerID, report *StepReport) {
 	if o.cfg.MinDegree < 1 {
 		return
 	}
-	var alive []overlay.PeerID
-	for _, p := range o.net.AlivePeers() {
+	for _, p := range alive {
 		if o.net.Degree(p) < o.cfg.MinDegree {
-			if alive == nil {
-				alive = o.net.AlivePeers()
-			}
 			for attempts := 0; o.net.Degree(p) < o.cfg.MinDegree && attempts < 20; attempts++ {
 				q := alive[rng.Intn(len(alive))]
 				if o.net.Connect(p, q) {
@@ -343,14 +525,16 @@ func (o *Optimizer) resolvePending(a, b overlay.PeerID, report *StepReport) {
 }
 
 // candidates lists the neighbors of b eligible to replace b for peer a:
-// alive, not a itself, and not already connected to a.
+// alive, not a itself, and not already connected to a. The returned slice
+// is a reused scratch buffer, valid until the next candidates call.
 func (o *Optimizer) candidates(a, b overlay.PeerID) []overlay.PeerID {
-	var out []overlay.PeerID
-	for _, h := range o.net.Neighbors(b) {
+	out := o.candBuf[:0]
+	for _, h := range o.net.NeighborsView(b) {
 		if h != a && o.net.Alive(h) && !o.net.HasEdge(a, h) {
 			out = append(out, h)
 		}
 	}
+	o.candBuf = out
 	return out
 }
 

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ace/internal/overlay"
+	"ace/internal/physical"
+	"ace/internal/sim"
+	"ace/internal/topology"
+)
+
+// benchSystem is one persistent benchmark fixture: an overlay plus an
+// optimizer in steady state. It is cached across the benchmark framework's
+// calibration reruns so the BA generation, oracle warm-up (one Dijkstra
+// per attachment point) and priming rebuild run once per configuration.
+type benchSystem struct {
+	net   *overlay.Network
+	opt   *Optimizer
+	churn *sim.RNG
+}
+
+var benchSystems = map[string]*benchSystem{}
+
+func getBenchSystem(b *testing.B, nPeers, h int, noInc bool) *benchSystem {
+	b.Helper()
+	key := fmt.Sprintf("%d/%d/%v", nPeers, h, noInc)
+	if s, ok := benchSystems[key]; ok {
+		return s
+	}
+	rng := sim.NewRNG(int64(nPeers) + 31)
+	phys, err := topology.GenerateBA(rng.Derive("phys"), topology.DefaultBASpec(nPeers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	attach, err := overlay.RandomAttachments(rng.Derive("attach"), nPeers, nPeers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := overlay.NewNetwork(physical.NewOracle(phys.Graph, 0), attach)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := overlay.GenerateRandom(rng.Derive("gen"), net, 6); err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(h)
+	cfg.NoIncremental = noInc
+	opt, err := NewOptimizer(net, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt.RebuildTrees() // prime: fills the oracle cache and the state map
+	s := &benchSystem{net: net, opt: opt, churn: rng.Derive("churn")}
+	benchSystems[key] = s
+	return s
+}
+
+// churnPeers bounces k random peers (leave then immediately rejoin), the
+// membership-churn workload between exchange cycles.
+func (s *benchSystem) churnPeers(k int) {
+	for j := 0; j < k; j++ {
+		p := overlay.PeerID(s.churn.Intn(s.net.N()))
+		if s.net.Alive(p) {
+			s.net.Leave(p)
+		}
+		s.net.Join(s.churn, p, 6)
+	}
+}
+
+func benchmarkRebuild(b *testing.B, nPeers, h, churn int, noInc bool) {
+	s := getBenchSystem(b, nPeers, h, noInc)
+	before := s.opt.RebuildStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s.churnPeers(churn)
+		b.StartTimer()
+		s.opt.RebuildTrees()
+	}
+	b.StopTimer()
+	st := s.opt.RebuildStats()
+	b.ReportMetric(float64(st.PeersRebuilt-before.PeersRebuilt)/float64(b.N), "peers-rebuilt/op")
+	b.ReportMetric(float64(st.Full-before.Full)/float64(b.N), "full-rebuilds/op")
+}
+
+// BenchmarkRebuildTrees measures one Phase 1–2 exchange cycle under
+// membership churn, incremental engine vs full rebuild, at two population
+// scales. Light churn is the steady-state regime (a couple of peers bounce
+// per cycle); heavy churn bounces 1% of the population, near the regime
+// where the dirty region stops paying off.
+func BenchmarkRebuildTrees(b *testing.B) {
+	cases := []struct {
+		name  string
+		n, h  int
+		churn int
+	}{
+		{"n1000_light", 1000, 1, 2},
+		{"n1000_heavy", 1000, 1, 10},
+		// At h=2 and average degree 6, two bounced peers already dirty
+		// >25% of a 1000-peer population: the threshold detects that
+		// incremental would not pay and falls back, so this row shows
+		// parity with full, not a win.
+		{"n1000_h2_light", 1000, 2, 2},
+		{"n10000_light", 10000, 1, 2},
+		{"n10000_heavy", 10000, 1, 100},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name+"/incremental", func(b *testing.B) {
+			benchmarkRebuild(b, tc.n, tc.h, tc.churn, false)
+		})
+		b.Run(tc.name+"/full", func(b *testing.B) {
+			benchmarkRebuild(b, tc.n, tc.h, tc.churn, true)
+		})
+	}
+}
+
+// BenchmarkRoundChurn measures a complete ACE round (Phases 1–3) under
+// light churn. Phase 3 probes O(N) candidates and rewires edges across
+// the whole graph regardless of the rebuild engine, so it dominates at
+// this scale and the gap here bounds what the incremental engine buys
+// end-to-end; the isolated Phase 1–2 win is BenchmarkRebuildTrees.
+func BenchmarkRoundChurn(b *testing.B) {
+	for _, noInc := range []bool{false, true} {
+		name := "incremental"
+		if noInc {
+			name = "full"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := getBenchSystem(b, 1000, 1, noInc)
+			rng := sim.NewRNG(99)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s.churnPeers(2)
+				b.StartTimer()
+				s.opt.Round(rng)
+			}
+		})
+	}
+}

@@ -9,8 +9,10 @@ import (
 
 // PeerState is the knowledge one peer accumulates in Phases 1–2: its
 // h-closure, the multicast tree over it, and the flooding/non-flooding
-// split of its direct neighbors. It is rebuilt on every ACE round from
-// fresh cost tables, modelling the periodic exchange.
+// split of its direct neighbors. It is rebuilt from fresh cost tables
+// whenever the subgraph it depends on changes, modelling the periodic
+// exchange (the incremental engine in optimizer.go keeps states of
+// untouched peers cached across rounds).
 //
 // Phase 1 gives the peer the cost between ANY pair of peers in its
 // closure ("a peer can obtain the cost between any pair of its logical
@@ -44,28 +46,21 @@ type PeerState struct {
 
 // buildState runs Phases 1–2 for peer p against the current network.
 // sparse selects the ablation reading (trees over the overlay subgraph
-// only).
+// only). It only reads the network (via zero-copy neighbor views), so
+// rebuild workers may run it concurrently while no mutation is in flight.
 func buildState(net *overlay.Network, p overlay.PeerID, h int, sparse bool) *PeerState {
-	closure := graph.Neighborhood(int(p), h, func(u int) []int {
-		nbrs := net.Neighbors(overlay.PeerID(u))
-		out := make([]int, len(nbrs))
-		for i, q := range nbrs {
-			out[i] = int(q)
-		}
-		return out
-	})
+	closure := graph.Neighborhood(p, h, net.NeighborsView)
 	s := len(closure)
 
 	st := &PeerState{
-		Closure:    make([]overlay.PeerID, s),
+		Closure:    closure,
 		Depth:      make(map[overlay.PeerID]int, s),
 		TreeAdj:    make(map[overlay.PeerID][]overlay.PeerID, s),
 		Flooding:   make(map[overlay.PeerID]bool),
 		KnownPairs: s * (s - 1) / 2,
 	}
-	inClosure := make(map[int]bool, s)
-	for i, u := range closure {
-		st.Closure[i] = overlay.PeerID(u)
+	inClosure := make(map[overlay.PeerID]bool, s)
+	for _, u := range closure {
 		inClosure[u] = true
 	}
 	// BFS depths over the closure subgraph.
@@ -74,8 +69,8 @@ func buildState(net *overlay.Network, p overlay.PeerID, h int, sparse bool) *Pee
 	for d := 1; len(frontier) > 0; d++ {
 		var next []overlay.PeerID
 		for _, u := range frontier {
-			for _, v := range net.Neighbors(u) {
-				if _, seen := st.Depth[v]; !seen && inClosure[int(v)] {
+			for _, v := range net.NeighborsView(u) {
+				if _, seen := st.Depth[v]; !seen && inClosure[v] {
 					st.Depth[v] = d
 					next = append(next, v)
 				}
@@ -89,14 +84,18 @@ func buildState(net *overlay.Network, p overlay.PeerID, h int, sparse bool) *Pee
 		// closure.
 		var edges []graph.Edge
 		for _, u := range closure {
-			for _, v := range net.Neighbors(overlay.PeerID(u)) {
-				if int(v) > u && inClosure[int(v)] {
-					edges = append(edges, graph.Edge{U: u, V: int(v), W: net.Cost(overlay.PeerID(u), v)})
+			for _, v := range net.NeighborsView(u) {
+				if v > u && inClosure[v] {
+					edges = append(edges, graph.Edge{U: int(u), V: int(v), W: net.Cost(u, v)})
 				}
 			}
 		}
 		st.KnownPairs = len(edges)
-		tree, _ := graph.PrimMST(closure, edges, int(p))
+		nodes := make([]int, s)
+		for i, u := range closure {
+			nodes[i] = int(u)
+		}
+		tree, _ := graph.PrimMST(nodes, edges, int(p))
 		for _, e := range tree {
 			u, v := overlay.PeerID(e.U), overlay.PeerID(e.V)
 			st.TreeAdj[u] = append(st.TreeAdj[u], v)
@@ -128,7 +127,7 @@ func buildState(net *overlay.Network, p overlay.PeerID, h int, sparse bool) *Pee
 		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
 	}
 
-	for _, q := range net.Neighbors(p) {
+	for _, q := range net.NeighborsView(p) {
 		if onTree(st.TreeAdj[p], q) {
 			st.Flooding[q] = true
 		} else {

@@ -179,9 +179,9 @@ func (e *Engine) PingRound(p overlay.PeerID) int {
 		return 0
 	}
 	var addrs []overlay.PeerID
-	for _, q := range e.Net.Neighbors(p) {
+	for _, q := range e.Net.NeighborsView(p) {
 		addrs = append(addrs, q)
-		for _, r := range e.Net.Neighbors(q) {
+		for _, r := range e.Net.NeighborsView(q) {
 			if r != p && !e.Net.HasEdge(p, r) {
 				addrs = append(addrs, r)
 			}

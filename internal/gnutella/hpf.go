@@ -76,8 +76,8 @@ func HybridPeriodicalFlood(net *overlay.Network, rng *sim.RNG, src overlay.PeerI
 		if hop >= ttl {
 			return
 		}
-		nbrs := net.Neighbors(p)
-		targets := nbrs[:0:0]
+		nbrs := net.NeighborsView(p)
+		targets := make([]overlay.PeerID, 0, len(nbrs))
 		for _, n := range nbrs {
 			if n != from {
 				targets = append(targets, n)

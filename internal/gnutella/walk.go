@@ -58,7 +58,7 @@ func RandomWalk(net *overlay.Network, rng *sim.RNG, src overlay.PeerID, walkers,
 		if w.hops >= maxHops {
 			continue
 		}
-		nbrs := net.Neighbors(w.pos)
+		nbrs := net.NeighborsView(w.pos)
 		if len(nbrs) == 0 {
 			continue
 		}

@@ -3,19 +3,23 @@ package graph
 // Neighborhood enumerates nodes reachable from src in at most h hops
 // (unweighted), including src itself, via breadth-first search over an
 // adjacency callback. It is shared by the overlay layer, which stores
-// dynamic neighbor sets outside this package.
+// dynamic neighbor sets outside this package; the node type is generic
+// over integer-backed ids (overlay.PeerID, plain int) so callers never
+// convert adjacency slices per node.
 //
-// The callback receives a node and must return its current neighbors.
-// Nodes are returned in BFS discovery order, so index 0 is always src.
-func Neighborhood(src, h int, neighbors func(int) []int) []int {
+// The callback receives a node and must return its current neighbors; the
+// returned slice is only read before the next callback invocation, so
+// zero-copy views are safe. Nodes are returned in BFS discovery order, so
+// index 0 is always src.
+func Neighborhood[Node ~int | ~int32 | ~int64](src Node, h int, neighbors func(Node) []Node) []Node {
 	if h < 0 {
 		return nil
 	}
-	seen := map[int]bool{src: true}
-	order := []int{src}
-	frontier := []int{src}
+	seen := map[Node]bool{src: true}
+	order := []Node{src}
+	frontier := []Node{src}
 	for depth := 0; depth < h && len(frontier) > 0; depth++ {
-		var next []int
+		var next []Node
 		for _, u := range frontier {
 			for _, v := range neighbors(u) {
 				if !seen[v] {

@@ -101,9 +101,9 @@ func (o *Optimizer) Round(rng *sim.RNG) Report {
 func (o *Optimizer) detectorCost() float64 {
 	total := 0.0
 	for _, p := range o.net.AlivePeers() {
-		for _, q := range o.net.Neighbors(p) {
+		for _, q := range o.net.NeighborsView(p) {
 			total += o.cfg.DetectorCost * o.net.Cost(p, q)
-			for _, r := range o.net.Neighbors(q) {
+			for _, r := range o.net.NeighborsView(q) {
 				if r != p {
 					total += o.cfg.DetectorCost * o.net.Cost(q, r)
 				}
@@ -120,7 +120,7 @@ func (o *Optimizer) detectorCost() float64 {
 // slowest edge is between two neighbors, the same logic runs at those
 // peers' own rounds.
 func (o *Optimizer) cutSlowTriangles(rng *sim.RNG, p overlay.PeerID, rep *Report) {
-	nbrs := o.net.Neighbors(p)
+	nbrs := o.net.Neighbors(p) // owned copy: the loop disconnects p's links
 	for i := 0; i < len(nbrs); i++ {
 		for j := i + 1; j < len(nbrs); j++ {
 			a, b := nbrs[i], nbrs[j]
@@ -153,7 +153,7 @@ func (o *Optimizer) cutSlowTriangles(rng *sim.RNG, p overlay.PeerID, rep *Report
 // to it (and relies on triangle cutting to trim the now-redundant far
 // link in a later round).
 func (o *Optimizer) adoptCloser(p overlay.PeerID, rep *Report) {
-	nbrs := o.net.Neighbors(p)
+	nbrs := o.net.NeighborsView(p) // read-only until the final Connect
 	if len(nbrs) == 0 {
 		return
 	}
@@ -172,7 +172,7 @@ func (o *Optimizer) adoptCloser(p overlay.PeerID, rep *Report) {
 	// Deterministic scan order over two-hop peers.
 	var candidates []overlay.PeerID
 	for _, q := range nbrs {
-		for _, r := range o.net.Neighbors(q) {
+		for _, r := range o.net.NeighborsView(q) {
 			if !seen[r] {
 				seen[r] = true
 				candidates = append(candidates, r)

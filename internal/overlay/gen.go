@@ -31,10 +31,7 @@ func GenerateRandom(rng *sim.RNG, net *Network, avgDegree float64) error {
 	}
 
 	for p := 0; p < n; p++ {
-		if !net.alive[p] {
-			net.alive[p] = true
-			net.nAlive++
-		}
+		net.revive(PeerID(p))
 	}
 	for p := 1; p < n; p++ {
 		net.Connect(PeerID(p), PeerID(rng.Intn(p)))
@@ -76,10 +73,7 @@ func GenerateSmallWorld(rng *sim.RNG, net *Network, avgDegree int, triadProb flo
 		return fmt.Errorf("overlay: triad probability %v outside [0,1]", triadProb)
 	}
 	for p := 0; p < n; p++ {
-		if !net.alive[p] {
-			net.alive[p] = true
-			net.nAlive++
-		}
+		net.revive(PeerID(p))
 	}
 	m := avgDegree / 2
 	if m < 1 {
@@ -104,7 +98,7 @@ func GenerateSmallWorld(rng *sim.RNG, net *Network, avgDegree int, triadProb flo
 		for made, attempts := 0, 0; made < links && attempts < 50*links; attempts++ {
 			var v PeerID = -1
 			if last >= 0 && rng.Float64() < triadProb {
-				nbrs := net.Neighbors(last)
+				nbrs := net.NeighborsView(last)
 				if len(nbrs) > 0 {
 					v = nbrs[rng.Intn(len(nbrs))]
 				}
@@ -133,7 +127,7 @@ func (n *Network) ClusteringCoefficient(rng *sim.RNG, sample int) float64 {
 	}
 	total, counted := 0.0, 0
 	for _, p := range peers {
-		nbrs := n.Neighbors(p)
+		nbrs := n.NeighborsView(p)
 		if len(nbrs) < 2 {
 			continue
 		}

@@ -1,0 +1,176 @@
+package overlay
+
+import (
+	"testing"
+
+	"ace/internal/sim"
+)
+
+func eventsEqual(t *testing.T, got, want []Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalVersionMonotonicAndNoopsSilent(t *testing.T) {
+	net := testNet(t, 4)
+	rng := sim.NewRNG(1)
+	if net.Version() != 0 {
+		t.Fatalf("fresh Version = %d, want 0", net.Version())
+	}
+	last := net.Version()
+	step := func(name string, effective bool, f func()) {
+		t.Helper()
+		f()
+		v := net.Version()
+		switch {
+		case effective && v != last+1:
+			t.Fatalf("%s: version %d, want %d", name, v, last+1)
+		case !effective && v != last:
+			t.Fatalf("%s: no-op moved version %d -> %d", name, last, v)
+		}
+		last = v
+	}
+	step("join 0", true, func() { net.Join(rng, 0, 0) })
+	step("join 1", true, func() { net.Join(rng, 1, 0) })
+	step("join 0 again", false, func() { net.Join(rng, 0, 0) })
+	step("connect 0-1", true, func() { net.Connect(0, 1) })
+	step("connect 0-1 again", false, func() { net.Connect(0, 1) })
+	step("connect reversed", false, func() { net.Connect(1, 0) })
+	step("self connect", false, func() { net.Connect(0, 0) })
+	step("connect to dead", false, func() { net.Connect(0, 3) })
+	step("disconnect 1-0", true, func() { net.Disconnect(1, 0) })
+	step("disconnect again", false, func() { net.Disconnect(0, 1) })
+	step("leave dead 3", false, func() { net.Leave(3) })
+}
+
+func TestJournalEventsExact(t *testing.T) {
+	net := testNet(t, 4)
+	rng := sim.NewRNG(2)
+	for p := 0; p < 3; p++ {
+		net.Join(rng, PeerID(p), 0)
+	}
+	net.Connect(0, 1)
+	net.Connect(0, 2)
+	net.Disconnect(0, 2)
+	net.Connect(2, 1)
+	net.Leave(0) // drops 0-1, journaled as a disconnect then the leave
+
+	got, next, ok := net.EventsSince(0)
+	if !ok || next != net.Version() {
+		t.Fatalf("EventsSince(0): next=%d ok=%v, want %d true", next, ok, net.Version())
+	}
+	eventsEqual(t, got, []Event{
+		{Kind: EventJoin, P: 0, Q: -1},
+		{Kind: EventJoin, P: 1, Q: -1},
+		{Kind: EventJoin, P: 2, Q: -1},
+		{Kind: EventConnect, P: 0, Q: 1},
+		{Kind: EventConnect, P: 0, Q: 2},
+		{Kind: EventDisconnect, P: 0, Q: 2},
+		{Kind: EventConnect, P: 2, Q: 1},
+		{Kind: EventDisconnect, P: 0, Q: 1},
+		{Kind: EventLeave, P: 0, Q: -1},
+	})
+}
+
+func TestJournalLeaveRecordsEveryDroppedEdge(t *testing.T) {
+	net := testNet(t, 5)
+	rng := sim.NewRNG(3)
+	allAlive(rng, net)
+	net.Connect(0, 1)
+	net.Connect(0, 2)
+	net.Connect(0, 3)
+	cursor := net.Version()
+	net.Leave(0)
+	got, _, ok := net.EventsSince(cursor)
+	if !ok {
+		t.Fatal("journal truncated unexpectedly")
+	}
+	eventsEqual(t, got, []Event{
+		{Kind: EventDisconnect, P: 0, Q: 1},
+		{Kind: EventDisconnect, P: 0, Q: 2},
+		{Kind: EventDisconnect, P: 0, Q: 3},
+		{Kind: EventLeave, P: 0, Q: -1},
+	})
+}
+
+func TestJournalCursorReadsIdempotent(t *testing.T) {
+	net := testNet(t, 4)
+	rng := sim.NewRNG(4)
+	allAlive(rng, net)
+	cursor := net.Version()
+	net.Connect(0, 1)
+	net.Connect(2, 3)
+
+	a, nextA, okA := net.EventsSince(cursor)
+	b, nextB, okB := net.EventsSince(cursor)
+	if !okA || !okB || nextA != nextB {
+		t.Fatalf("repeated reads disagree: (%v,%d) vs (%v,%d)", okA, nextA, okB, nextB)
+	}
+	eventsEqual(t, a, b)
+
+	// Reading from the returned cursor yields nothing until new events.
+	tail, next2, ok := net.EventsSince(nextA)
+	if !ok || len(tail) != 0 || next2 != nextA {
+		t.Fatalf("read at head: events=%v next=%d ok=%v", tail, next2, ok)
+	}
+	net.Disconnect(0, 1)
+	tail, _, ok = net.EventsSince(nextA)
+	if !ok {
+		t.Fatal("journal truncated unexpectedly")
+	}
+	eventsEqual(t, tail, []Event{{Kind: EventDisconnect, P: 0, Q: 1}})
+}
+
+func TestJournalCompactAndTruncationSignal(t *testing.T) {
+	net := testNet(t, 4)
+	rng := sim.NewRNG(5)
+	allAlive(rng, net)
+	net.Connect(0, 1)
+	mid := net.Version()
+	net.Connect(1, 2)
+	net.CompactJournal(mid)
+
+	if _, next, ok := net.EventsSince(0); ok {
+		t.Fatal("compacted cursor should report !ok")
+	} else if next != net.Version() {
+		t.Fatalf("!ok read must still return the resync cursor, got %d", next)
+	}
+	got, _, ok := net.EventsSince(mid)
+	if !ok {
+		t.Fatal("cursor at compaction boundary must stay readable")
+	}
+	eventsEqual(t, got, []Event{{Kind: EventConnect, P: 1, Q: 2}})
+
+	// A cursor beyond the head is invalid, not silently empty.
+	if _, _, ok := net.EventsSince(net.Version() + 10); ok {
+		t.Fatal("future cursor should report !ok")
+	}
+}
+
+func TestJournalCapSheddingForcesResync(t *testing.T) {
+	net := testNet(t, 3)
+	rng := sim.NewRNG(6)
+	allAlive(rng, net)
+	// Each iteration journals two events; overflow maxJournal.
+	for i := 0; i < maxJournal/2+10; i++ {
+		net.Connect(0, 1)
+		net.Disconnect(0, 1)
+	}
+	if _, _, ok := net.EventsSince(0); ok {
+		t.Fatal("cursor 0 should be shed after journal overflow")
+	}
+	cursor := net.Version()
+	net.Connect(0, 2)
+	got, _, ok := net.EventsSince(cursor)
+	if !ok {
+		t.Fatal("fresh cursor must survive shedding")
+	}
+	eventsEqual(t, got, []Event{{Kind: EventConnect, P: 0, Q: 2}})
+}

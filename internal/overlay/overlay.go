@@ -17,12 +17,16 @@ import (
 type PeerID int
 
 // Network is the mutable overlay state. It is not safe for concurrent
-// mutation; the simulators drive it from a single goroutine.
+// mutation; the simulators drive it from a single goroutine. Concurrent
+// READS are safe while no mutation is in flight (the optimizer's rebuild
+// workers rely on this).
 type Network struct {
 	oracle *physical.Oracle
 	attach []int
 	alive  []bool
-	nbr    []map[PeerID]struct{}
+	// nbr[p] is p's neighbor list, kept sorted ascending across every
+	// Connect/Disconnect so reads never sort or allocate.
+	nbr []([]PeerID)
 	// hostCache remembers the neighbor addresses a peer knew when it
 	// left, so rejoining preferentially reconnects to them (§1: "the
 	// peer will try to connect to the peers whose IP addresses have
@@ -30,7 +34,56 @@ type Network struct {
 	hostCache [][]PeerID
 	nAlive    int
 	edges     int
+
+	// Mutation journal: every effective Connect/Disconnect/Join/Leave
+	// appends one Event and bumps version. journalBase is the version of
+	// the oldest retained event minus... see EventsSince.
+	version     uint64
+	journalBase uint64
+	journal     []Event
 }
+
+// EventKind tags one entry of the mutation journal.
+type EventKind uint8
+
+const (
+	// EventConnect records a new edge P—Q.
+	EventConnect EventKind = iota + 1
+	// EventDisconnect records a removed edge P—Q (Leave journals one per
+	// dropped link before its EventLeave).
+	EventDisconnect
+	// EventJoin records P turning alive (Q is -1).
+	EventJoin
+	// EventLeave records P turning dead (Q is -1).
+	EventLeave
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventConnect:
+		return "connect"
+	case EventDisconnect:
+		return "disconnect"
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one journaled mutation. Q is -1 for liveness events.
+type Event struct {
+	Kind EventKind
+	P, Q PeerID
+}
+
+// maxJournal bounds retained journal memory: past it the oldest half is
+// dropped and consumers whose cursor falls behind resynchronize with a
+// full scan (EventsSince reports !ok).
+const maxJournal = 1 << 16
 
 // NewNetwork creates an overlay with one peer slot per attachment point;
 // all peers start dead with no links. attach[i] is the physical node of
@@ -42,17 +95,13 @@ func NewNetwork(oracle *physical.Oracle, attach []int) (*Network, error) {
 		}
 	}
 	n := len(attach)
-	net := &Network{
+	return &Network{
 		oracle:    oracle,
 		attach:    append([]int(nil), attach...),
 		alive:     make([]bool, n),
-		nbr:       make([]map[PeerID]struct{}, n),
+		nbr:       make([][]PeerID, n),
 		hostCache: make([][]PeerID, n),
-	}
-	for i := range net.nbr {
-		net.nbr[i] = make(map[PeerID]struct{})
-	}
-	return net, nil
+	}, nil
 }
 
 // RandomAttachments draws nPeers distinct physical nodes from [0, physN).
@@ -78,13 +127,18 @@ func (n *Network) Alive(p PeerID) bool { return n.alive[p] }
 
 // AlivePeers returns all live peers in ascending order.
 func (n *Network) AlivePeers() []PeerID {
-	out := make([]PeerID, 0, n.nAlive)
+	return n.AlivePeersAppend(nil)
+}
+
+// AlivePeersAppend appends all live peers in ascending order to buf and
+// returns it; with sufficient capacity it allocates nothing.
+func (n *Network) AlivePeersAppend(buf []PeerID) []PeerID {
 	for p := range n.alive {
 		if n.alive[p] {
-			out = append(out, PeerID(p))
+			buf = append(buf, PeerID(p))
 		}
 	}
-	return out
+	return buf
 }
 
 // Attachment returns the physical node peer p attaches to.
@@ -102,12 +156,21 @@ func (n *Network) Oracle() *physical.Oracle { return n.oracle }
 // Neighbors returns p's current neighbors in ascending order. The slice
 // is freshly allocated and owned by the caller.
 func (n *Network) Neighbors(p PeerID) []PeerID {
-	out := make([]PeerID, 0, len(n.nbr[p]))
-	for q := range n.nbr[p] {
-		out = append(out, q)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]PeerID(nil), n.nbr[p]...)
+}
+
+// NeighborsView returns p's neighbors in ascending order WITHOUT copying.
+// The slice is owned by the network and is invalidated by the next
+// mutation of p's adjacency; callers must not modify it or hold it across
+// Connect/Disconnect/Join/Leave. Hot read-only loops use this to avoid
+// the per-call allocation of Neighbors.
+func (n *Network) NeighborsView(p PeerID) []PeerID { return n.nbr[p] }
+
+// NeighborsAppend appends p's neighbors in ascending order to buf and
+// returns it. With sufficient capacity it allocates nothing, and unlike
+// NeighborsView the result survives subsequent mutations.
+func (n *Network) NeighborsAppend(p PeerID, buf []PeerID) []PeerID {
+	return append(buf, n.nbr[p]...)
 }
 
 // Degree reports p's current neighbor count.
@@ -115,8 +178,72 @@ func (n *Network) Degree(p PeerID) int { return len(n.nbr[p]) }
 
 // HasEdge reports whether p and q are connected.
 func (n *Network) HasEdge(p, q PeerID) bool {
-	_, ok := n.nbr[p][q]
-	return ok
+	s := n.nbr[p]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= q })
+	return i < len(s) && s[i] == q
+}
+
+// insertSorted adds q to the sorted slice s, keeping order.
+func insertSorted(s []PeerID, q PeerID) []PeerID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= q })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = q
+	return s
+}
+
+// removeSorted deletes q from the sorted slice s, keeping order.
+func removeSorted(s []PeerID, q PeerID) []PeerID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= q })
+	if i < len(s) && s[i] == q {
+		s = append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// record appends one journal entry and advances the version, shedding the
+// oldest half of the journal when it outgrows maxJournal.
+func (n *Network) record(kind EventKind, p, q PeerID) {
+	if len(n.journal) >= maxJournal {
+		drop := len(n.journal) / 2
+		n.journal = append(n.journal[:0:0], n.journal[drop:]...)
+		n.journalBase += uint64(drop)
+	}
+	n.journal = append(n.journal, Event{Kind: kind, P: p, Q: q})
+	n.version++
+}
+
+// Version reports the monotonic mutation counter: it advances by exactly
+// one for every effective Connect/Disconnect/Join/Leave and never moves
+// on no-op calls.
+func (n *Network) Version() uint64 { return n.version }
+
+// EventsSince returns the journal entries recorded after the caller's
+// cursor (a Version() value captured earlier) along with the next cursor.
+// Reads do not consume: the same cursor always yields the same events.
+// ok is false when the journal no longer reaches back to the cursor
+// (capacity shedding or CompactJournal); the caller must then resync from
+// a full scan of the network and continue from next.
+func (n *Network) EventsSince(cursor uint64) (events []Event, next uint64, ok bool) {
+	if cursor < n.journalBase || cursor > n.version {
+		return nil, n.version, false
+	}
+	return n.journal[cursor-n.journalBase:], n.version, true
+}
+
+// CompactJournal drops journal entries at versions <= cursor. Consumers
+// that already advanced past cursor are unaffected; a consumer still
+// behind it will observe !ok from EventsSince and resynchronize.
+func (n *Network) CompactJournal(cursor uint64) {
+	if cursor <= n.journalBase {
+		return
+	}
+	if cursor > n.version {
+		cursor = n.version
+	}
+	drop := cursor - n.journalBase
+	n.journal = n.journal[drop:]
+	n.journalBase = cursor
 }
 
 // Connect links two live peers. Connecting dead peers, a peer to itself,
@@ -125,9 +252,10 @@ func (n *Network) Connect(p, q PeerID) bool {
 	if p == q || !n.alive[p] || !n.alive[q] || n.HasEdge(p, q) {
 		return false
 	}
-	n.nbr[p][q] = struct{}{}
-	n.nbr[q][p] = struct{}{}
+	n.nbr[p] = insertSorted(n.nbr[p], q)
+	n.nbr[q] = insertSorted(n.nbr[q], p)
 	n.edges++
+	n.record(EventConnect, p, q)
 	return true
 }
 
@@ -137,9 +265,22 @@ func (n *Network) Disconnect(p, q PeerID) bool {
 	if !n.HasEdge(p, q) {
 		return false
 	}
-	delete(n.nbr[p], q)
-	delete(n.nbr[q], p)
+	n.nbr[p] = removeSorted(n.nbr[p], q)
+	n.nbr[q] = removeSorted(n.nbr[q], p)
 	n.edges--
+	n.record(EventDisconnect, p, q)
+	return true
+}
+
+// revive flips a dead peer alive and journals the join; generators use it
+// directly, Join wraps it with the connection protocol.
+func (n *Network) revive(p PeerID) bool {
+	if n.alive[p] {
+		return false
+	}
+	n.alive[p] = true
+	n.nAlive++
+	n.record(EventJoin, p, -1)
 	return true
 }
 
@@ -154,11 +295,9 @@ const joinTriadProb = 0.5
 // alive, then peers learned from its new neighbors or supplied by the
 // bootstrap node. It reports the number of connections established.
 func (n *Network) Join(rng *sim.RNG, p PeerID, degreeTarget int) int {
-	if n.alive[p] {
+	if !n.revive(p) {
 		return 0
 	}
-	n.alive[p] = true
-	n.nAlive++
 	made := 0
 	for _, q := range n.hostCache[p] {
 		if made >= degreeTarget {
@@ -175,8 +314,8 @@ func (n *Network) Join(rng *sim.RNG, p PeerID, degreeTarget int) int {
 	for attempts := 0; made < degreeTarget && attempts < 20*(degreeTarget+1); attempts++ {
 		if made > 0 && rng.Float64() < joinTriadProb {
 			// Ask an existing neighbor for one of its neighbors.
-			mine := n.Neighbors(p)
-			nbrs := n.Neighbors(mine[rng.Intn(len(mine))])
+			mine := n.NeighborsView(p)
+			nbrs := n.NeighborsView(mine[rng.Intn(len(mine))])
 			if len(nbrs) > 0 && n.Connect(p, nbrs[rng.Intn(len(nbrs))]) {
 				made++
 				continue
@@ -206,7 +345,9 @@ const maxHostCache = 64
 
 // Leave removes a live peer and drops all its links. Its neighbor
 // addresses are merged into the front of its host cache for a later
-// rejoin, without displacing older Ping/Pong-learned entries.
+// rejoin, without displacing older Ping/Pong-learned entries. Each
+// dropped link is journaled as a disconnect before the leave itself, so
+// journal consumers see the exact endpoints the departure touched.
 func (n *Network) Leave(p PeerID) {
 	if !n.alive[p] {
 		return
@@ -223,13 +364,15 @@ func (n *Network) Leave(p PeerID) {
 		}
 	}
 	n.hostCache[p] = merged
-	for q := range n.nbr[p] {
-		delete(n.nbr[q], p)
+	for _, q := range n.nbr[p] {
+		n.nbr[q] = removeSorted(n.nbr[q], p)
 		n.edges--
+		n.record(EventDisconnect, p, q)
 	}
-	clear(n.nbr[p])
+	n.nbr[p] = n.nbr[p][:0]
 	n.alive[p] = false
 	n.nAlive--
+	n.record(EventLeave, p, -1)
 }
 
 // CacheAddresses replaces p's host cache with the given addresses (the
@@ -265,7 +408,7 @@ func (n *Network) IsConnected() bool {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for v := range n.nbr[u] {
+		for _, v := range n.nbr[u] {
 			if !seen[v] {
 				seen[v] = true
 				stack = append(stack, v)
@@ -282,21 +425,16 @@ type Edge struct {
 }
 
 // SnapshotEdges returns every live connection once (P < Q), sorted, with
-// costs — used for serialization and invariant checks.
+// costs — used for serialization and invariant checks. Sortedness falls
+// out of the sorted adjacency representation.
 func (n *Network) SnapshotEdges() []Edge {
 	out := make([]Edge, 0, n.edges)
 	for p := range n.nbr {
-		for q := range n.nbr[p] {
+		for _, q := range n.nbr[p] {
 			if PeerID(p) < q {
 				out = append(out, Edge{P: PeerID(p), Q: q, Cost: n.Cost(PeerID(p), q)})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].P != out[j].P {
-			return out[i].P < out[j].P
-		}
-		return out[i].Q < out[j].Q
-	})
 	return out
 }

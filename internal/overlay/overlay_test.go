@@ -169,6 +169,48 @@ func TestNeighborsSortedAndCopied(t *testing.T) {
 	}
 }
 
+func TestNeighborsViewAndAppend(t *testing.T) {
+	net := testNet(t, 6)
+	rng := sim.NewRNG(11)
+	allAlive(rng, net)
+	net.Connect(0, 4)
+	net.Connect(0, 2)
+	net.Connect(0, 5)
+	want := []PeerID{2, 4, 5}
+	view := net.NeighborsView(0)
+	if len(view) != len(want) {
+		t.Fatalf("view = %v, want %v", view, want)
+	}
+	for i := range want {
+		if view[i] != want[i] {
+			t.Fatalf("view = %v, want %v", view, want)
+		}
+	}
+	buf := make([]PeerID, 0, 8)
+	got := net.NeighborsAppend(0, buf[:0])
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("NeighborsAppend with capacity should not reallocate")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("append = %v, want %v", got, want)
+		}
+	}
+	// The appended copy survives mutation; the view reflects it.
+	net.Disconnect(0, 4)
+	if len(got) != 3 || got[1] != 4 {
+		t.Fatalf("appended copy mutated: %v", got)
+	}
+	if nv := net.NeighborsView(0); len(nv) != 2 || nv[0] != 2 || nv[1] != 5 {
+		t.Fatalf("view after disconnect = %v", nv)
+	}
+
+	alive := net.AlivePeersAppend(make([]PeerID, 0, 6))
+	if len(alive) != 6 || alive[0] != 0 || alive[5] != 5 {
+		t.Fatalf("AlivePeersAppend = %v", alive)
+	}
+}
+
 func TestIsConnected(t *testing.T) {
 	net := testNet(t, 4)
 	rng := sim.NewRNG(5)

@@ -13,12 +13,15 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ace/internal/graph"
 )
 
 // Oracle answers physical-delay queries between physical node indices.
-// It is safe for concurrent use.
+// It is safe for concurrent use: lookups take only the read lock and the
+// activity counters are atomic, so parallel readers (the optimizer's
+// rebuild workers) never serialize on the mutex once the cache is warm.
 type Oracle struct {
 	g   *graph.Graph
 	cap int // max cached vectors; 0 = unbounded
@@ -26,10 +29,14 @@ type Oracle struct {
 	mu    sync.RWMutex
 	cache map[int][]float32
 	order []int // insertion order for FIFO eviction
-	stats Stats
+
+	queries   atomic.Uint64
+	dijkstras atomic.Uint64
+	evictions atomic.Uint64
 }
 
-// Stats counts oracle activity, for overhead reporting and tests.
+// Stats is a snapshot of oracle activity counters, for overhead reporting
+// and tests.
 type Stats struct {
 	Queries   uint64
 	Dijkstras uint64
@@ -55,17 +62,21 @@ func (o *Oracle) Delay(u, v int) float64 {
 	if u == v {
 		return 0
 	}
-	o.mu.Lock()
-	o.stats.Queries++
-	if vec, ok := o.cache[u]; ok {
-		o.mu.Unlock()
-		return float64(vec[v])
+	o.queries.Add(1)
+	o.mu.RLock()
+	vecU, okU := o.cache[u]
+	var vecV []float32
+	okV := false
+	if !okU {
+		vecV, okV = o.cache[v]
 	}
-	if vec, ok := o.cache[v]; ok {
-		o.mu.Unlock()
-		return float64(vec[u])
+	o.mu.RUnlock()
+	if okU {
+		return float64(vecU[v])
 	}
-	o.mu.Unlock()
+	if okV {
+		return float64(vecV[u])
+	}
 	vec := o.vector(u)
 	return float64(vec[v])
 }
@@ -83,12 +94,12 @@ func (o *Oracle) vector(src int) []float32 {
 	if existing, ok := o.cache[src]; ok {
 		return existing // another goroutine raced us; keep theirs
 	}
-	o.stats.Dijkstras++
+	o.dijkstras.Add(1)
 	if o.cap > 0 && len(o.cache) >= o.cap {
 		victim := o.order[0]
 		o.order = o.order[1:]
 		delete(o.cache, victim)
-		o.stats.Evictions++
+		o.evictions.Add(1)
 	}
 	o.cache[src] = vec
 	o.order = append(o.order, src)
@@ -157,9 +168,11 @@ func (o *Oracle) Path(u, v int) []int {
 
 // Stats returns a snapshot of activity counters.
 func (o *Oracle) Stats() Stats {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.stats
+	return Stats{
+		Queries:   o.queries.Load(),
+		Dijkstras: o.dijkstras.Load(),
+		Evictions: o.evictions.Load(),
+	}
 }
 
 // CacheSize reports the number of cached source vectors.

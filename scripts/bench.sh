@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the incremental-round-engine benchmarks and emits BENCH_round.json:
+# one record per benchmark with ns/op, allocs, and the engine's custom
+# metrics (peers-rebuilt/op, full-rebuilds/op).
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=2s scripts/bench.sh       # longer runs for stabler numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_round.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench 'BenchmarkRebuildTrees|BenchmarkRoundChurn' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/core/ | tee "$TMP"
+go test -run '^$' -bench 'BenchmarkDelayWarm' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/physical/ | tee -a "$TMP"
+
+{
+    printf '{\n  "benchtime": "%s",\n  "go": "%s",\n  "benchmarks": [\n' \
+        "$BENCHTIME" "$(go env GOVERSION)"
+    awk '
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+            for (i = 3; i < NF; i += 2)
+                line = line sprintf(", \"%s\": %s", $(i + 1), $i)
+            lines[n++] = line "}"
+        }
+        END {
+            for (i = 0; i < n; i++)
+                printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+        }
+    ' "$TMP"
+    printf '  ]\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT"
