@@ -138,6 +138,12 @@ func NewSystem(opts ...Option) (*System, error) {
 	}
 	cfg := core.DefaultConfig(o.Depth)
 	cfg.Policy = o.Policy
+	// Scale the client connection ceiling with the configured average
+	// degree: a cap near the population's natural degree starves Phase 3
+	// of candidates (saturated peers drop out of candidate lists), while
+	// 4x leaves optimization headroom yet still bounds the degree pump
+	// under churn.
+	cfg.MaxDegree = 4 * o.AvgDegree
 	opt, err := core.NewOptimizer(env.Net, cfg)
 	if err != nil {
 		return nil, err

@@ -82,6 +82,24 @@ type Config struct {
 	// peer below it opens fresh bootstrap connections each round, which
 	// is what re-knits pairs severed by Phase-3 rewiring.
 	MinDegree int
+	// MaxDegree is the connection ceiling every client enforces (real
+	// Gnutella clients likewise refuse connections past their configured
+	// maximum). A saturated peer refuses every incoming dial, so Phase 3
+	// drops it from candidate lists (probing it would waste the step),
+	// Figure-4(c) tentative links additionally require the keeping peer
+	// itself to be below the ceiling, and bootstrap repairs skip
+	// saturated partners. Without the ceiling, 4(c) tentative links whose
+	// compensating cut is consumed by other peers' rewiring pump the mean
+	// degree upward without bound (measured ~+60 edges/round at n=1000
+	// under light churn), and 4(b) replacements concentrate the remaining
+	// slots into a few physically central hubs whose quadratic closure
+	// rebuilds then dominate every cycle. Size it with headroom over the
+	// overlay's average degree — a tight cap starves optimization (see
+	// ace.NewSystem, which uses 4x the configured average). 0 disables
+	// the ceiling; DefaultConfig leaves it off because the paper's
+	// protocol has no ceiling and the figure reproductions run without
+	// one.
+	MaxDegree int
 
 	// RebuildFraction is the dirty-region share of the live population
 	// above which RebuildTrees abandons the incremental path and
@@ -150,6 +168,12 @@ func (c Config) validate() error {
 	}
 	if c.MinDegree < 0 {
 		return fmt.Errorf("core: negative MinDegree")
+	}
+	if c.MaxDegree < 0 {
+		return fmt.Errorf("core: negative MaxDegree")
+	}
+	if c.MaxDegree > 0 && c.MaxDegree < c.MinDegree {
+		return fmt.Errorf("core: MaxDegree %d below MinDegree %d", c.MaxDegree, c.MinDegree)
 	}
 	if c.RebuildFraction < 0 {
 		return fmt.Errorf("core: negative RebuildFraction")

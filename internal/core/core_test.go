@@ -93,12 +93,12 @@ func TestBuildStateClassification(t *testing.T) {
 	if len(st.Closure) != 4 {
 		t.Fatalf("closure = %v, want 4 peers", st.Closure)
 	}
-	if st.Closure[0] != 0 || st.Depth[0] != 0 {
+	if d, ok := st.DepthOf(0); st.Closure[0] != 0 || !ok || d != 0 {
 		t.Fatal("closure must start at self with depth 0")
 	}
 	for _, q := range []overlay.PeerID{1, 2, 3} {
-		if st.Depth[q] != 1 {
-			t.Fatalf("depth[%d] = %d, want 1", q, st.Depth[q])
+		if d, ok := st.DepthOf(q); !ok || d != 1 {
+			t.Fatalf("depth[%d] = %d (in closure: %v), want 1", q, d, ok)
 		}
 	}
 	if st.KnownPairs != 6 {
@@ -122,13 +122,13 @@ func TestBuildStateTreeIsMST(t *testing.T) {
 		0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2},
 	}
 	for u, want := range wantAdj {
-		got := st.TreeAdj[u]
+		got := st.TreeNeighbors(u)
 		if len(got) != len(want) {
-			t.Fatalf("TreeAdj[%d] = %v, want %v", u, got, want)
+			t.Fatalf("TreeNeighbors(%d) = %v, want %v", u, got, want)
 		}
 		for i := range want {
 			if got[i] != want[i] {
-				t.Fatalf("TreeAdj[%d] = %v, want %v", u, got, want)
+				t.Fatalf("TreeNeighbors(%d) = %v, want %v", u, got, want)
 			}
 		}
 	}
@@ -163,7 +163,7 @@ func TestMinCostNeighborAlwaysFlooding(t *testing.T) {
 				best, bestCost = q, c
 			}
 		}
-		if best >= 0 && !st.Flooding[best] {
+		if best >= 0 && !st.IsFlooding(best) {
 			t.Fatalf("peer %d's cheapest neighbor %d not flooding", p, best)
 		}
 	}
@@ -175,12 +175,12 @@ func TestFloodingPlusNonFloodingCoversNeighbors(t *testing.T) {
 	o.RebuildTrees()
 	for _, p := range net.AlivePeers() {
 		st := o.State(p)
-		total := len(st.Flooding) + len(st.NonFlooding)
+		total := len(st.FloodingView()) + len(st.NonFlooding)
 		if total != net.Degree(p) {
 			t.Fatalf("peer %d: flooding %d + nonflooding %d != degree %d",
-				p, len(st.Flooding), len(st.NonFlooding), net.Degree(p))
+				p, len(st.FloodingView()), len(st.NonFlooding), net.Degree(p))
 		}
-		for q := range st.Flooding {
+		for _, q := range st.FloodingView() {
 			if !net.HasEdge(p, q) {
 				t.Fatalf("peer %d: flooding neighbor %d not connected", p, q)
 			}
@@ -200,8 +200,8 @@ func TestClosureDepth2(t *testing.T) {
 	if len(st.Closure) != 3 {
 		t.Fatalf("2-closure of 0 = %v, want {0,1,2}", st.Closure)
 	}
-	if st.Depth[2] != 2 {
-		t.Fatalf("depth[2] = %d, want 2", st.Depth[2])
+	if d, ok := st.DepthOf(2); !ok || d != 2 {
+		t.Fatalf("depth[2] = %d (in closure: %v), want 2", d, ok)
 	}
 	if st.KnownPairs != 3 {
 		t.Fatalf("KnownPairs = %d, want 3 (complete graph on 3)", st.KnownPairs)
@@ -232,7 +232,7 @@ func TestFigure4bReplace(t *testing.T) {
 		t.Fatalf("precondition: nonflooding(A) = %v, want [B=1]", st.NonFlooding)
 	}
 	var rep StepReport
-	o.applyFigure4(0, 1, 2, &rep)
+	o.applyFigure4(o.net.CostsFrom(0), 0, 1, 2, &rep)
 	if rep.Replacements != 1 {
 		t.Fatalf("report = %+v, want 1 replacement", rep)
 	}
@@ -255,7 +255,7 @@ func TestFigure4cKeepAndDeferredCut(t *testing.T) {
 	o := newOpt(t, net, 1)
 	o.RebuildTrees()
 	var rep StepReport
-	o.applyFigure4(0, 1, 2, &rep)
+	o.applyFigure4(o.net.CostsFrom(0), 0, 1, 2, &rep)
 	if rep.KeptNew != 1 || rep.Replacements != 0 {
 		t.Fatalf("report = %+v, want KeptNew=1", rep)
 	}
@@ -296,7 +296,7 @@ func TestFigure4dNoChange(t *testing.T) {
 	o.RebuildTrees()
 	edgesBefore := net.NumEdges()
 	var rep StepReport
-	o.applyFigure4(0, 1, 2, &rep)
+	o.applyFigure4(o.net.CostsFrom(0), 0, 1, 2, &rep)
 	if rep.Replacements+rep.KeptNew != 0 || net.NumEdges() != edgesBefore {
 		t.Fatalf("Figure 4(d) changed the overlay: %+v", rep)
 	}
@@ -307,7 +307,7 @@ func TestPendingCutAbandonedOnChurn(t *testing.T) {
 	o := newOpt(t, net, 1)
 	o.RebuildTrees()
 	var rep StepReport
-	o.applyFigure4(0, 1, 2, &rep) // case (c): pending (A,B,H)
+	o.applyFigure4(o.net.CostsFrom(0), 0, 1, 2, &rep) // case (c): pending (A,B,H)
 	if o.PendingCuts() != 1 {
 		t.Fatal("precondition: want one pending cut")
 	}

@@ -253,7 +253,7 @@ func pruneTree(st *PeerState, root overlay.PeerID, targets map[overlay.PeerID]bo
 	stack := []frame{{node: root, parent: -1}}
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		children := st.TreeAdj[f.node]
+		children := st.TreeNeighbors(f.node)
 		advanced := false
 		for f.childIdx < len(children) {
 			c := children[f.childIdx]
@@ -282,7 +282,7 @@ func pruneTree(st *PeerState, root overlay.PeerID, targets map[overlay.PeerID]bo
 	keep[root] = true
 	pruned := make(TreeAdj, len(keep))
 	for u := range keep {
-		for _, v := range st.TreeAdj[u] {
+		for _, v := range st.TreeNeighbors(u) {
 			if keep[v] {
 				pruned[u] = append(pruned[u], v)
 			}

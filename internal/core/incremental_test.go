@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"ace/internal/overlay"
@@ -87,6 +88,14 @@ func requireSameStates(t *testing.T, round int, inc, full *Optimizer, n int) {
 	}
 }
 
+// stripTiming zeroes the wall-clock phase fields, which legitimately
+// differ between runs; everything else in a StepReport must match
+// bit-for-bit.
+func stripTiming(r StepReport) StepReport {
+	r.RebuildNanos, r.Phase3Nanos, r.RepairNanos = 0, 0, 0
+	return r
+}
+
 func requireSameEdges(t *testing.T, round int, inc, full *overlay.Network) {
 	t.Helper()
 	ea, eb := inc.SnapshotEdges(), full.SnapshotEdges()
@@ -118,8 +127,8 @@ func TestIncrementalMatchesFullRebuild(t *testing.T) {
 	for r := 0; r < rounds; r++ {
 		inc.churnStep(2)
 		full.churnStep(2)
-		ri := inc.opt.Round(inc.round)
-		rf := full.opt.Round(full.round)
+		ri := stripTiming(inc.opt.Round(inc.round))
+		rf := stripTiming(full.opt.Round(full.round))
 		if ri != rf {
 			t.Fatalf("round %d: reports diverged\nincremental: %+v\nfull:        %+v", r, ri, rf)
 		}
@@ -180,6 +189,75 @@ func TestIncrementalChurnOnlySavesWork(t *testing.T) {
 	t.Logf("churn-only: incremental %+v vs full %+v", is, fs)
 }
 
+// TestIncrementalChurnOnlySavesWorkDepth2 is the h=2 companion of the
+// churn-only check. Before the reverse closure index, an h-hop expansion
+// from the churned peers' neighborhoods dirtied a large share of a
+// 260-peer population at Depth=2; the index resolves the exact affected
+// set, so the incremental side must both stay bit-identical to the full
+// side and rebuild well under half as many peers.
+func TestIncrementalChurnOnlySavesWorkDepth2(t *testing.T) {
+	const seed = 13
+	const rounds = 120
+
+	incCfg := DefaultConfig(2)
+	incCfg.RebuildFraction = 1
+	fullCfg := DefaultConfig(2)
+	fullCfg.NoIncremental = true
+
+	inc := newDiffSide(t, seed, incCfg)
+	full := newDiffSide(t, seed, fullCfg)
+
+	for r := 0; r < rounds; r++ {
+		inc.churnStep(1)
+		full.churnStep(1)
+		ci := inc.opt.RebuildTrees()
+		cf := full.opt.RebuildTrees()
+		if ci != cf {
+			t.Fatalf("round %d: exchange cost diverged: %v vs %v", r, ci, cf)
+		}
+		requireSameStates(t, r, inc.opt, full.opt, inc.net.N())
+	}
+
+	is, fs := inc.opt.RebuildStats(), full.opt.RebuildStats()
+	if is.Incremental < rounds-10 {
+		t.Fatalf("incremental path barely ran at h=2: %+v", is)
+	}
+	if is.PeersRebuilt*2 >= fs.PeersRebuilt {
+		t.Fatalf("h=2 incremental rebuilt %d peers vs full %d; the reverse index is not saving work",
+			is.PeersRebuilt, fs.PeersRebuilt)
+	}
+	t.Logf("h=2 churn-only: incremental %+v vs full %+v", is, fs)
+}
+
+// TestBuildStatesParallelMatchesSerial pins down the rebuild pool's
+// determinism: with GOMAXPROCS forced to 1 the pool degenerates to the
+// serial loop, and the states it commits must be exactly what the
+// parallel pool produces — across the initial full rebuild and a run of
+// incremental rounds exercising the per-worker scratch arenas.
+func TestBuildStatesParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig(2)
+	par := newDiffSide(t, 404, cfg)
+	ser := newDiffSide(t, 404, cfg)
+
+	serialRebuild := func() {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		ser.opt.RebuildTrees()
+	}
+
+	par.opt.RebuildTrees()
+	serialRebuild()
+	requireSameStates(t, 0, par.opt, ser.opt, par.net.N())
+
+	for r := 1; r <= 20; r++ {
+		par.churnStep(2)
+		ser.churnStep(2)
+		par.opt.RebuildTrees()
+		serialRebuild()
+		requireSameStates(t, r, par.opt, ser.opt, par.net.N())
+	}
+}
+
 // TestIncrementalWithFallbackThreshold runs the same differential check
 // with the default RebuildFraction, so rounds whose dirty region grows
 // past the threshold exercise the mixed incremental/full regime and the
@@ -198,8 +276,8 @@ func TestIncrementalWithFallbackThreshold(t *testing.T) {
 	for r := 0; r < rounds; r++ {
 		inc.churnStep(1)
 		full.churnStep(1)
-		ri := inc.opt.Round(inc.round)
-		rf := full.opt.Round(full.round)
+		ri := stripTiming(inc.opt.Round(inc.round))
+		rf := stripTiming(full.opt.Round(full.round))
 		if ri != rf {
 			t.Fatalf("round %d: reports diverged\nincremental: %+v\nfull:        %+v", r, ri, rf)
 		}

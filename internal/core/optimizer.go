@@ -3,8 +3,9 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"time"
 
 	"ace/internal/overlay"
 	"ace/internal/sim"
@@ -47,10 +48,27 @@ type Optimizer struct {
 	synced bool
 	stats  RebuildStats
 
+	// rev is the reverse closure index: rev[m] lists the peers whose
+	// last-built closure contains m, flagged interior when m sits at
+	// depth ≤ h−1 (only interior members can propagate an edge change
+	// into the closure; see dirtyRegion). It is maintained from the same
+	// journal-driven commits that update o.state, so both always describe
+	// the same rebuild generation. Stale postings (generation mismatch)
+	// accumulate until they outnumber live ones, then one linear sweep
+	// compacts every list — O(1) amortized per posting.
+	rev      [][]revEntry
+	revGen   []uint32
+	revLive  int // postings whose generation is current
+	revTotal int // postings physically present, stale included
+
 	// Scratch buffers reused across rounds; valid only single-threaded.
 	aliveBuf []overlay.PeerID
 	dirtyBuf []overlay.PeerID
 	candBuf  []overlay.PeerID
+	ownerBuf []overlay.PeerID
+
+	// scratch holds one buildState arena per rebuild worker.
+	scratch []*buildScratch
 
 	totalOverhead float64 // accumulated probe + exchange traffic cost
 }
@@ -69,6 +87,19 @@ type pendingCut struct {
 	ttl int
 }
 
+// revEntry is one reverse-closure posting: peer p's last-built closure
+// contains the indexing member, at depth ≤ Depth−1 when interior. The
+// posting is live only while gen matches p's current rebuild generation;
+// rebuilding or dropping p bumps the generation, invalidating all its
+// postings at once instead of scanning them out of every member's list
+// (members are disproportionately hubs, making eager removal the same
+// quadratic trap the index exists to avoid).
+type revEntry struct {
+	p        overlay.PeerID
+	gen      uint32
+	interior bool
+}
+
 // PendingTTL is how many rounds a Figure-4(c) tentative link survives
 // before the experiment is abandoned.
 const PendingTTL = 3
@@ -78,9 +109,12 @@ const PendingTTL = 3
 const MaxPending = 2
 
 // DefaultRebuildFraction is the dirty-region share of the live population
-// above which the incremental path falls back to a full rebuild (walking
-// a dirty set close to N costs more than the flat sweep).
-const DefaultRebuildFraction = 0.25
+// above which the incremental path falls back to a full rebuild. The
+// reverse closure index makes the dirty set exact and nearly free to
+// compute, so rebuilding k dirty peers costs about k/N of a full sweep
+// plus the index bookkeeping; the break-even sits near the whole
+// population, not at a small fraction.
+const DefaultRebuildFraction = 0.8
 
 // StepReport summarizes one ACE round for instrumentation and tests.
 type StepReport struct {
@@ -92,6 +126,12 @@ type StepReport struct {
 	Repairs      int     // bootstrap connections opened to hold MinDegree
 	ProbeTraffic float64 // traffic cost of this round's probes
 	ExchangeCost float64 // traffic cost of this round's cost-table exchange
+
+	// Wall-clock phase breakdown of the round, for benchmarks that need
+	// to attribute cost (differential tests zero these before comparing).
+	RebuildNanos int64 // Phases 1–2: state sync + exchange pricing
+	Phase3Nanos  int64 // pending cuts + the per-peer replacement policy
+	RepairNanos  int64 // MinDegree repair
 }
 
 // NewOptimizer validates cfg and attaches an optimizer to net. No state
@@ -162,6 +202,10 @@ func (o *Optimizer) rebuild(peers []overlay.PeerID) {
 	}
 	clear(o.state)
 	clear(o.contrib)
+	for i := range o.rev {
+		o.rev[i] = o.rev[i][:0]
+	}
+	o.revLive, o.revTotal = 0, 0
 	o.buildStates(peers)
 	o.stats.Full++
 	o.cursor = next
@@ -169,73 +213,63 @@ func (o *Optimizer) rebuild(peers []overlay.PeerID) {
 	o.net.CompactJournal(o.cursor)
 }
 
-// dirtyRegion expands the journaled endpoints to every peer within Depth
-// hops of one, over the UNION of the old and new adjacency (removed edges
-// resurrect old paths, so peers whose former closure lost a member are
-// found even when the current graph no longer connects them). It returns
-// nil when the region exceeds the RebuildFraction threshold and a full
-// rebuild is the better deal.
+// dirtyRegion resolves the journaled endpoints against the reverse
+// closure index: a cached PeerState can change only if an event endpoint
+// sat in its closure strictly inside the horizon (depth ≤ Depth−1) —
+// only then can an added edge extend, or a removed edge shrink, what the
+// peer sees. (Every prefix of a shortest path through the first changed
+// edge lies in the old graph, so the peer held that endpoint at depth
+// ≤ Depth−1 at the last rebuild; removed edges existed at the last
+// rebuild by definition, so the index covers them too.) Under the
+// sparse-knowledge ablation the tree also depends on closure-internal
+// overlay edges, so there every posting counts, not just interior ones.
+// This is exact — no h-hop overapproximation over current adjacency —
+// which is what lets the incremental path keep firing once Phase-3
+// rewiring spreads endpoints across the overlay. It returns nil when
+// the region exceeds the RebuildFraction threshold and a full rebuild
+// is the better deal.
 func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) map[overlay.PeerID]bool {
 	frac := o.cfg.RebuildFraction
 	if frac == 0 {
 		frac = DefaultRebuildFraction
 	}
-	// The dirty region may include dead peers (reached through removed
-	// edges), so "never fall back" means a bound of every slot.
+	// The dirty region may include dead peers (their state still has to
+	// be dropped), so "never fall back" means a bound of every slot.
 	limit := o.net.N()
 	if frac < 1 {
 		limit = int(frac * float64(nAlive))
 	}
 
+	sparse := o.cfg.SparseKnowledge
 	dirty := make(map[overlay.PeerID]bool, 4*len(events))
-	frontier := o.dirtyBuf[:0]
-	var removed map[overlay.PeerID][]overlay.PeerID
+	endpoints := o.dirtyBuf[:0]
 	for _, ev := range events {
 		if !dirty[ev.P] {
 			dirty[ev.P] = true
-			frontier = append(frontier, ev.P)
+			endpoints = append(endpoints, ev.P)
 		}
-		if ev.Q >= 0 {
-			if !dirty[ev.Q] {
-				dirty[ev.Q] = true
-				frontier = append(frontier, ev.Q)
-			}
-			if ev.Kind == overlay.EventDisconnect {
-				if removed == nil {
-					removed = make(map[overlay.PeerID][]overlay.PeerID)
-				}
-				removed[ev.P] = append(removed[ev.P], ev.Q)
-				removed[ev.Q] = append(removed[ev.Q], ev.P)
-			}
+		if ev.Q >= 0 && !dirty[ev.Q] {
+			dirty[ev.Q] = true
+			endpoints = append(endpoints, ev.Q)
 		}
 	}
+	o.dirtyBuf = endpoints[:0]
 	if len(dirty) > limit {
-		o.dirtyBuf = frontier
 		return nil
 	}
-	for d := 0; d < o.cfg.Depth && len(frontier) > 0; d++ {
-		var next []overlay.PeerID
-		grow := func(v overlay.PeerID) {
-			if !dirty[v] {
-				dirty[v] = true
-				next = append(next, v)
-			}
+	for _, e := range endpoints {
+		if int(e) >= len(o.rev) {
+			continue // joined after the last rebuild; nobody holds it yet
 		}
-		for _, u := range frontier {
-			for _, v := range o.net.NeighborsView(u) {
-				grow(v)
-			}
-			for _, v := range removed[u] {
-				grow(v)
+		for _, ent := range o.rev[e] {
+			if ent.gen == o.revGen[ent.p] && (ent.interior || sparse) {
+				dirty[ent.p] = true
 			}
 		}
 		if len(dirty) > limit {
-			o.dirtyBuf = frontier[:0]
 			return nil
 		}
-		frontier = next
 	}
-	o.dirtyBuf = frontier[:0]
 	return dirty
 }
 
@@ -244,6 +278,9 @@ func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) map[overlay.
 func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty map[overlay.PeerID]bool, peers []overlay.PeerID) {
 	for _, ev := range events {
 		if ev.Kind == overlay.EventLeave {
+			if old := o.state[ev.P]; old != nil {
+				o.revDrop(ev.P, old)
+			}
 			delete(o.state, ev.P)
 			delete(o.contrib, ev.P)
 		}
@@ -272,21 +309,25 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 	if workers > len(list) {
 		workers = len(list)
 	}
+	for len(o.scratch) < workers {
+		o.scratch = append(o.scratch, &buildScratch{})
+	}
 	if workers <= 1 {
+		sc := o.scratch[0]
 		for i, p := range list {
-			states[i] = buildState(o.net, p, o.cfg.Depth, o.cfg.SparseKnowledge)
+			states[i] = buildState(sc, o.net, p, o.cfg.Depth, o.cfg.SparseKnowledge)
 		}
 	} else {
 		var wg sync.WaitGroup
 		work := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(sc *buildScratch) {
 				defer wg.Done()
 				for i := range work {
-					states[i] = buildState(o.net, list[i], o.cfg.Depth, o.cfg.SparseKnowledge)
+					states[i] = buildState(sc, o.net, list[i], o.cfg.Depth, o.cfg.SparseKnowledge)
 				}
-			}()
+			}(o.scratch[w])
 		}
 		for i := range list {
 			work <- i
@@ -294,11 +335,61 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 		close(work)
 		wg.Wait()
 	}
+	if n := o.net.N(); len(o.rev) < n {
+		o.rev = append(o.rev, make([][]revEntry, n-len(o.rev))...)
+		o.revGen = append(o.revGen, make([]uint32, n-len(o.revGen))...)
+	}
 	for i, p := range list {
+		if old := o.state[p]; old != nil {
+			o.revDrop(p, old)
+		}
+		o.revAdd(p, states[i])
 		o.state[p] = states[i]
 		o.contrib[p] = o.exchangeContribution(p, states[i])
 	}
+	if o.revTotal > 2*o.revLive+64 {
+		o.compactRev()
+	}
 	o.stats.PeersRebuilt += len(list)
+}
+
+// revDrop invalidates every posting p owns by bumping its generation.
+func (o *Optimizer) revDrop(p overlay.PeerID, st *PeerState) {
+	o.revGen[p]++
+	o.revLive -= len(st.Closure)
+}
+
+// revAdd posts p under every member of its fresh closure, flagging the
+// members p holds strictly inside its horizon.
+func (o *Optimizer) revAdd(p overlay.PeerID, st *PeerState) {
+	g := o.revGen[p]
+	interiorMax := int32(o.cfg.Depth - 1)
+	for i, m := range st.Closure {
+		o.rev[m] = append(o.rev[m], revEntry{p: p, gen: g, interior: st.depth[i] <= interiorMax})
+	}
+	o.revLive += len(st.Closure)
+	o.revTotal += len(st.Closure)
+}
+
+// compactRev sweeps stale postings out of every list. It runs when they
+// outnumber the live ones, so the sweep touches at most 2× the postings
+// appended since the last compaction — O(1) amortized per posting — and
+// afterwards no generation can alias a surviving stale entry.
+func (o *Optimizer) compactRev() {
+	total := 0
+	for m := range o.rev {
+		l := o.rev[m]
+		k := 0
+		for _, ent := range l {
+			if ent.gen == o.revGen[ent.p] {
+				l[k] = ent
+				k++
+			}
+		}
+		o.rev[m] = l[:k]
+		total += k
+	}
+	o.revTotal = total
 }
 
 // exchangeContribution prices one peer's share of a cost-table exchange
@@ -310,8 +401,9 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 func (o *Optimizer) exchangeContribution(p overlay.PeerID, st *PeerState) float64 {
 	entries := float64(st.KnownPairs)
 	total := 0.0
+	cv := o.net.CostsFrom(p)
 	for _, q := range o.net.NeighborsView(p) {
-		link := o.net.Cost(p, q)
+		link := cv.To(q)
 		// One probe round trip plus one table message per neighbor
 		// per cycle; the table message pays a fixed header plus its
 		// entries.
@@ -335,11 +427,15 @@ func (o *Optimizer) exchangeCost(peers []overlay.PeerID) float64 {
 // The live-peer slice is computed once and threaded through the whole
 // round — rounds rewire edges but never change liveness.
 func (o *Optimizer) Round(rng *sim.RNG) StepReport {
+	t0 := time.Now()
 	peers := o.alivePeers()
 	o.rebuild(peers)
 	cost := o.exchangeCost(peers)
 	o.totalOverhead += cost
 	report := StepReport{ExchangeCost: cost}
+	report.RebuildNanos = int64(time.Since(t0))
+
+	t1 := time.Now()
 	o.executePendingCuts(&report)
 
 	for _, p := range peers {
@@ -359,7 +455,11 @@ func (o *Optimizer) Round(rng *sim.RNG) StepReport {
 			o.phase3Closest(p, st, &report)
 		}
 	}
+	report.Phase3Nanos = int64(time.Since(t1))
+
+	t2 := time.Now()
 	o.maintainMinDegree(rng, peers, &report)
+	report.RepairNanos = int64(time.Since(t2))
 	o.totalOverhead += report.ProbeTraffic
 	return report
 }
@@ -375,6 +475,9 @@ func (o *Optimizer) maintainMinDegree(rng *sim.RNG, alive []overlay.PeerID, repo
 		if o.net.Degree(p) < o.cfg.MinDegree {
 			for attempts := 0; o.net.Degree(p) < o.cfg.MinDegree && attempts < 20; attempts++ {
 				q := alive[rng.Intn(len(alive))]
+				if o.atCap(q) {
+					continue // a saturated partner refuses the bootstrap dial
+				}
 				if o.net.Connect(p, q) {
 					report.Repairs++
 				}
@@ -412,18 +515,19 @@ func (o *Optimizer) abandonTentative(a, h overlay.PeerID, report *StepReport) {
 // tentative a—h link instead, so tentative degree never accumulates.
 func (o *Optimizer) executePendingCuts(report *StepReport) {
 	// Deterministic iteration: sort the owners.
-	owners := make([]overlay.PeerID, 0, len(o.pending))
+	owners := o.ownerBuf[:0]
 	for a := range o.pending {
 		owners = append(owners, a)
 	}
-	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	o.ownerBuf = owners
+	slices.Sort(owners)
 	for _, a := range owners {
 		m := o.pending[a]
 		bs := make([]overlay.PeerID, 0, len(m))
 		for b := range m {
 			bs = append(bs, b)
 		}
-		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		slices.Sort(bs)
 		for _, b := range bs {
 			pc := m[b]
 			h := pc.h
@@ -460,25 +564,34 @@ func (o *Optimizer) executePendingCuts(report *StepReport) {
 	}
 }
 
-// probe prices one Phase-3 delay measurement a→h and returns its cost.
-func (o *Optimizer) probe(a, h overlay.PeerID, report *StepReport) float64 {
+// atCap reports whether p sits at the configured connection ceiling and
+// therefore refuses further connections (Phase 3 asks before connecting,
+// the way a saturated Gnutella client rejects the handshake).
+func (o *Optimizer) atCap(p overlay.PeerID) bool {
+	return o.cfg.MaxDegree > 0 && o.net.Degree(p) >= o.cfg.MaxDegree
+}
+
+// probe prices one Phase-3 delay measurement from av's source to h and
+// returns its cost.
+func (o *Optimizer) probe(av overlay.CostView, h overlay.PeerID, report *StepReport) float64 {
 	report.Probes++
-	c := o.net.Cost(a, h)
+	c := av.To(h)
 	report.ProbeTraffic += o.cfg.ProbeCost * c
 	return c
 }
 
 // applyFigure4 applies the paper's Figure-4 rules to candidate h drawn
-// from non-flooding neighbor b of peer a. It reports whether any
-// connection changed.
-func (o *Optimizer) applyFigure4(a, b, h overlay.PeerID, report *StepReport) bool {
-	ah := o.probe(a, h, report)
-	ab := o.net.Cost(a, b)
-	bh := o.net.Cost(b, h)
+// from non-flooding neighbor b of peer a; av is a's cost view. It
+// reports whether any connection changed.
+func (o *Optimizer) applyFigure4(av overlay.CostView, a, b, h overlay.PeerID, report *StepReport) bool {
+	ah := o.probe(av, h, report)
+	ab := av.To(b)
 	switch {
 	case ah < ab:
 		// Figure 4(b): closer candidate found — replace b by h, unless
-		// cutting would strand b.
+		// cutting would strand b. No ceiling check here: candidates()
+		// already dropped saturated peers, and a's own degree does not
+		// grow (the replacement moves one connection slot from b to h).
 		if o.net.Degree(b) <= 1 {
 			return false
 		}
@@ -492,10 +605,16 @@ func (o *Optimizer) applyFigure4(a, b, h overlay.PeerID, report *StepReport) boo
 		o.resolvePending(a, b, report)
 		report.Replacements++
 		return true
-	case ah < bh:
+	case ah < o.net.CostsFrom(b).To(h):
 		// Figure 4(c): keep h as a new neighbor; b is expected to demote
 		// and then drop its link to h, after which a cuts a—b. Bounded
-		// per peer so tentative links cannot pile up.
+		// per peer so tentative links cannot pile up, and refused when
+		// either end is at its connection ceiling: the tentative extra
+		// degree is exactly what drifts the mean degree upward when its
+		// compensating cut is consumed by other peers' rewiring.
+		if o.atCap(a) || o.atCap(h) {
+			return false
+		}
 		if _, renewing := o.pending[a][b]; !renewing && len(o.pending[a]) >= MaxPending {
 			return false
 		}
@@ -525,12 +644,26 @@ func (o *Optimizer) resolvePending(a, b overlay.PeerID, report *StepReport) {
 }
 
 // candidates lists the neighbors of b eligible to replace b for peer a:
-// alive, not a itself, and not already connected to a. The returned slice
-// is a reused scratch buffer, valid until the next candidates call.
+// alive, not a itself, not already connected to a, and below the
+// connection ceiling (a saturated peer would refuse the dial, so probing
+// it would waste the attempt). Used by the naive and closest policies,
+// which score multiple candidates per pair; the random policy
+// rejection-samples a single pick instead. Both adjacency lists are
+// sorted, so the already-connected filter is a linear merge against a's
+// list rather than a membership probe per candidate, and b is
+// disproportionately often a hub. The returned slice is a reused scratch
+// buffer, valid until the next candidates call.
 func (o *Optimizer) candidates(a, b overlay.PeerID) []overlay.PeerID {
 	out := o.candBuf[:0]
+	an := o.net.NeighborsView(a)
 	for _, h := range o.net.NeighborsView(b) {
-		if h != a && o.net.Alive(h) && !o.net.HasEdge(a, h) {
+		for len(an) > 0 && an[0] < h {
+			an = an[1:]
+		}
+		if len(an) > 0 && an[0] == h {
+			continue // already a neighbor of a
+		}
+		if h != a && o.net.Alive(h) && !o.atCap(h) {
 			out = append(out, h)
 		}
 	}
@@ -540,17 +673,33 @@ func (o *Optimizer) candidates(a, b overlay.PeerID) []overlay.PeerID {
 
 // phase3Random implements the paper's default policy: per optimization
 // step, each non-flooding neighbor is probed with one randomly selected
-// candidate from its neighbor list.
+// candidate from its neighbor list. The pick is rejection-sampled
+// directly from b's adjacency rather than materializing the filtered
+// candidate list (the dominant cost of a whole round when profiled —
+// O(deg(a)+deg(b)) per pair to then probe a single element): draw a
+// random neighbor of b, retry a few times if the draw is ineligible.
+// Conditioned on success this is the same uniform choice over eligible
+// candidates, and a peer that exhausts its draws simply skips the step,
+// as a real client would after picking only busy or already-known
+// peers from b's list.
 func (o *Optimizer) phase3Random(rng *sim.RNG, a overlay.PeerID, st *PeerState, report *StepReport) {
+	av := o.net.CostsFrom(a)
 	for _, b := range st.NonFlooding {
 		if !o.net.Alive(b) || !o.net.HasEdge(a, b) {
 			continue
 		}
-		cands := o.candidates(a, b)
-		if len(cands) == 0 {
+		nb := o.net.NeighborsView(b)
+		if len(nb) == 0 {
 			continue
 		}
-		o.applyFigure4(a, b, cands[rng.Intn(len(cands))], report)
+		for tries := 0; tries < 4; tries++ {
+			h := nb[rng.Intn(len(nb))]
+			if h == a || !o.net.Alive(h) || o.atCap(h) || o.net.HasEdge(a, h) {
+				continue
+			}
+			o.applyFigure4(av, a, b, h, report)
+			break
+		}
 	}
 }
 
@@ -558,13 +707,14 @@ func (o *Optimizer) phase3Random(rng *sim.RNG, a overlay.PeerID, st *PeerState, 
 // non-flooding neighbor, probe a few random candidates, and replace the
 // target with the cheapest candidate found that improves on it.
 func (o *Optimizer) phase3Naive(rng *sim.RNG, a overlay.PeerID, st *PeerState, report *StepReport) {
+	av := o.net.CostsFrom(a)
 	var worst overlay.PeerID = -1
 	worstCost := -1.0
 	for _, b := range st.NonFlooding {
 		if !o.net.Alive(b) || !o.net.HasEdge(a, b) {
 			continue
 		}
-		if c := o.net.Cost(a, b); c > worstCost {
+		if c := av.To(b); c > worstCost {
 			worst, worstCost = b, c
 		}
 	}
@@ -581,7 +731,7 @@ func (o *Optimizer) phase3Naive(rng *sim.RNG, a overlay.PeerID, st *PeerState, r
 	}
 	best, bestCost := overlay.PeerID(-1), worstCost
 	for _, h := range cands {
-		if c := o.probe(a, h, report); c < bestCost {
+		if c := o.probe(av, h, report); c < bestCost {
 			best, bestCost = h, c
 		}
 	}
@@ -598,27 +748,28 @@ func (o *Optimizer) phase3Naive(rng *sim.RNG, a overlay.PeerID, st *PeerState, r
 // phase3Closest implements §6's closest policy: probe every candidate of
 // every non-flooding neighbor and apply Figure 4 to the closest one.
 func (o *Optimizer) phase3Closest(a overlay.PeerID, st *PeerState, report *StepReport) {
+	av := o.net.CostsFrom(a)
 	bestB, bestH, bestCost := overlay.PeerID(-1), overlay.PeerID(-1), 0.0
 	for _, b := range st.NonFlooding {
 		if !o.net.Alive(b) || !o.net.HasEdge(a, b) {
 			continue
 		}
 		for _, h := range o.candidates(a, b) {
-			c := o.probe(a, h, report)
+			c := o.probe(av, h, report)
 			if bestH < 0 || c < bestCost {
 				bestB, bestH, bestCost = b, h, c
 			}
 		}
 	}
 	if bestH >= 0 {
-		o.applyFigure4WithCost(a, bestB, bestH, bestCost, report)
+		o.applyFigure4WithCost(av, a, bestB, bestH, bestCost, report)
 	}
 }
 
-// applyFigure4WithCost is applyFigure4 for a candidate already probed.
-func (o *Optimizer) applyFigure4WithCost(a, b, h overlay.PeerID, ah float64, report *StepReport) {
-	ab := o.net.Cost(a, b)
-	bh := o.net.Cost(b, h)
+// applyFigure4WithCost is applyFigure4 for a candidate already probed;
+// av is a's cost view.
+func (o *Optimizer) applyFigure4WithCost(av overlay.CostView, a, b, h overlay.PeerID, ah float64, report *StepReport) {
+	ab := av.To(b)
 	switch {
 	case ah < ab:
 		if o.net.Degree(b) > 1 && o.net.Connect(a, h) {
@@ -629,7 +780,10 @@ func (o *Optimizer) applyFigure4WithCost(a, b, h overlay.PeerID, ah float64, rep
 			o.resolvePending(a, b, report)
 			report.Replacements++
 		}
-	case ah < bh:
+	case ah < o.net.CostsFrom(b).To(h):
+		if o.atCap(a) || o.atCap(h) {
+			return
+		}
 		if _, renewing := o.pending[a][b]; !renewing && len(o.pending[a]) >= MaxPending {
 			return
 		}
@@ -664,12 +818,7 @@ func (o *Optimizer) FloodingNeighbors(p overlay.PeerID) []overlay.PeerID {
 	if st == nil {
 		return nil
 	}
-	out := make([]overlay.PeerID, 0, len(st.Flooding))
-	for q := range st.Flooding {
-		out = append(out, q)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append(make([]overlay.PeerID, 0, len(st.flooding)), st.flooding...)
 }
 
 // String implements fmt.Stringer for debugging.

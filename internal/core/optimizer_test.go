@@ -43,8 +43,8 @@ func avgTreeEdgeCost(o *Optimizer) float64 {
 		if st == nil {
 			continue
 		}
-		for u, adj := range st.TreeAdj {
-			for _, v := range adj {
+		for _, u := range st.Closure {
+			for _, v := range st.TreeNeighbors(u) {
 				if u < v {
 					sum += o.net.Cost(u, v)
 					count++
@@ -411,7 +411,7 @@ func TestPendingExperimentExpires(t *testing.T) {
 	o := newOpt(t, net, 1)
 	o.RebuildTrees()
 	var rep StepReport
-	o.applyFigure4(0, 1, 2, &rep)
+	o.applyFigure4(o.net.CostsFrom(0), 0, 1, 2, &rep)
 	if rep.KeptNew != 1 || !net.HasEdge(0, 2) {
 		t.Fatalf("precondition: %+v", rep)
 	}
@@ -461,7 +461,7 @@ func TestMaxPendingCapsExperiments(t *testing.T) {
 	var rep StepReport
 	for _, b := range st.NonFlooding {
 		for _, h := range o.candidates(0, b) {
-			o.applyFigure4(0, b, h, &rep)
+			o.applyFigure4(o.net.CostsFrom(0), 0, b, h, &rep)
 		}
 	}
 	if got := len(o.pending[0]); got > MaxPending {

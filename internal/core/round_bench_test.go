@@ -28,6 +28,13 @@ func getBenchSystem(b *testing.B, nPeers, h int, noInc bool) *benchSystem {
 	if s, ok := benchSystems[key]; ok {
 		return s
 	}
+	s := newBenchSystem(b, nPeers, h, noInc)
+	benchSystems[key] = s
+	return s
+}
+
+func newBenchSystem(b *testing.B, nPeers, h int, noInc bool) *benchSystem {
+	b.Helper()
 	rng := sim.NewRNG(int64(nPeers) + 31)
 	phys, err := topology.GenerateBA(rng.Derive("phys"), topology.DefaultBASpec(nPeers))
 	if err != nil {
@@ -46,12 +53,36 @@ func getBenchSystem(b *testing.B, nPeers, h int, noInc bool) *benchSystem {
 	}
 	cfg := DefaultConfig(h)
 	cfg.NoIncremental = noInc
+	// Client connection ceiling at 4x the generated average degree, the
+	// ace.NewSystem scaling: without it, churned long runs pump degree
+	// into hubs whose quadratic closure rebuilds dominate both engines.
+	cfg.MaxDegree = 24
 	opt, err := NewOptimizer(net, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	opt.RebuildTrees() // prime: fills the oracle cache and the state map
-	s := &benchSystem{net: net, opt: opt, churn: rng.Derive("churn")}
+	return &benchSystem{net: net, opt: opt, churn: rng.Derive("churn")}
+}
+
+// getRoundBenchSystem is the BenchmarkRoundChurn fixture: a system driven
+// through enough full rounds that Phase 3's rewiring rate and the degree
+// profile reach their dynamic steady state, so the benchmark measures the
+// regime a long-lived overlay actually runs in, not the violent first
+// rounds of convergence (where every peer rewires and any engine
+// rightfully rebuilds everyone).
+func getRoundBenchSystem(b *testing.B, noInc bool) *benchSystem {
+	b.Helper()
+	key := fmt.Sprintf("round/%v", noInc)
+	if s, ok := benchSystems[key]; ok {
+		return s
+	}
+	s := newBenchSystem(b, 1000, 1, noInc)
+	rng := sim.NewRNG(7)
+	for i := 0; i < 200; i++ {
+		s.churnPeers(2)
+		s.opt.Round(rng)
+	}
 	benchSystems[key] = s
 	return s
 }
@@ -97,10 +128,10 @@ func BenchmarkRebuildTrees(b *testing.B) {
 	}{
 		{"n1000_light", 1000, 1, 2},
 		{"n1000_heavy", 1000, 1, 10},
-		// At h=2 and average degree 6, two bounced peers already dirty
-		// >25% of a 1000-peer population: the threshold detects that
-		// incremental would not pay and falls back, so this row shows
-		// parity with full, not a win.
+		// At h=2 the old BFS-expanded dirty region always blew past the
+		// fallback threshold and this row showed parity with full; the
+		// reverse closure index resolves the exact affected set, so the
+		// incremental path fires here too.
 		{"n1000_h2_light", 1000, 2, 2},
 		{"n10000_light", 10000, 1, 2},
 		{"n10000_heavy", 10000, 1, 100},
@@ -116,10 +147,13 @@ func BenchmarkRebuildTrees(b *testing.B) {
 }
 
 // BenchmarkRoundChurn measures a complete ACE round (Phases 1–3) under
-// light churn. Phase 3 probes O(N) candidates and rewires edges across
-// the whole graph regardless of the rebuild engine, so it dominates at
-// this scale and the gap here bounds what the incremental engine buys
-// end-to-end; the isolated Phase 1–2 win is BenchmarkRebuildTrees.
+// light churn, from the dynamic steady state: with the degree ceiling
+// holding the mean degree near 10, Phase 3 settles to a few dozen
+// rewires per round, so the exact dirty set stays a modest fraction of
+// the population and the end-to-end gap is dominated by the rebuild
+// work the incremental engine skips. Per-phase metrics attribute the
+// round's time (phase3 must read ~equal for both engines — the overlay
+// trajectories are identical).
 func BenchmarkRoundChurn(b *testing.B) {
 	for _, noInc := range []bool{false, true} {
 		name := "incremental"
@@ -127,15 +161,23 @@ func BenchmarkRoundChurn(b *testing.B) {
 			name = "full"
 		}
 		b.Run(name, func(b *testing.B) {
-			s := getBenchSystem(b, 1000, 1, noInc)
+			s := getRoundBenchSystem(b, noInc)
 			rng := sim.NewRNG(99)
+			var rebuildNs, phase3Ns, repairNs int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				s.churnPeers(2)
 				b.StartTimer()
-				s.opt.Round(rng)
+				rep := s.opt.Round(rng)
+				rebuildNs += rep.RebuildNanos
+				phase3Ns += rep.Phase3Nanos
+				repairNs += rep.RepairNanos
 			}
+			b.StopTimer()
+			b.ReportMetric(float64(rebuildNs)/float64(b.N), "rebuild-ns/op")
+			b.ReportMetric(float64(phase3Ns)/float64(b.N), "phase3-ns/op")
+			b.ReportMetric(float64(repairNs)/float64(b.N), "repair-ns/op")
 		})
 	}
 }

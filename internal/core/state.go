@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"ace/internal/graph"
 	"ace/internal/overlay"
@@ -22,122 +23,303 @@ import (
 // cites. Tree links that are not overlay connections are legitimate
 // forwarding connections (Figure 3(b)): a peer can always send a query
 // to an IP it learned from a cost table.
+//
+// The state is backed by two flat slabs (one []PeerID, one []int32)
+// sliced into the closure, the CSR tree adjacency, the neighbor split,
+// and the lookup metadata, so a rebuild performs O(1) heap allocations
+// regardless of closure size. Tree and depth lookups go through the
+// accessor methods, which binary-search an id-sorted position index.
 type PeerState struct {
 	// Closure lists the peers within h overlay hops, BFS order, self
 	// first.
 	Closure []overlay.PeerID
-	// Depth maps each closure member to its overlay hop distance from
-	// the peer.
-	Depth map[overlay.PeerID]int
-	// TreeAdj is the adjacency of the peer's multicast tree over the
-	// closure; values are sorted.
-	TreeAdj map[overlay.PeerID][]overlay.PeerID
-	// Flooding holds the direct neighbors adjacent to the peer on its
-	// tree; queries go only to these (plus any non-neighbor tree links,
-	// which TreeAdj already lists).
-	Flooding map[overlay.PeerID]bool
-	// NonFlooding holds the remaining direct neighbors, sorted — the
-	// Phase-3 replacement targets.
+	// NonFlooding holds the direct neighbors not adjacent to the peer on
+	// its tree, sorted — the Phase-3 replacement targets.
 	NonFlooding []overlay.PeerID
 	// KnownPairs counts the pairwise costs this peer holds — the size
 	// of its cost-table knowledge, used for overhead accounting.
 	KnownPairs int
+
+	// flooding holds the direct neighbors adjacent to the peer on its
+	// tree, sorted; queries go only to these (plus any non-neighbor tree
+	// links, which the tree adjacency already lists).
+	flooding []overlay.PeerID
+	// depth[i] is the overlay hop distance of Closure[i] from the peer.
+	depth []int32
+	// treeOff/treeAdj are the CSR adjacency of the multicast tree:
+	// Closure[i]'s tree neighbors are treeAdj[treeOff[i]:treeOff[i+1]],
+	// sorted ascending.
+	treeOff []int32
+	treeAdj []overlay.PeerID
+	// byID lists closure positions ordered by peer id, for O(log s)
+	// id → position lookups.
+	byID []int32
 }
 
-// buildState runs Phases 1–2 for peer p against the current network.
-// sparse selects the ablation reading (trees over the overlay subgraph
-// only). It only reads the network (via zero-copy neighbor views), so
-// rebuild workers may run it concurrently while no mutation is in flight.
-func buildState(net *overlay.Network, p overlay.PeerID, h int, sparse bool) *PeerState {
-	closure := graph.Neighborhood(p, h, net.NeighborsView)
-	s := len(closure)
+// pos returns u's closure position, or -1 when u is not in the closure.
+func (st *PeerState) pos(u overlay.PeerID) int {
+	lo, hi := 0, len(st.byID)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.Closure[st.byID[mid]] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(st.byID) && st.Closure[st.byID[lo]] == u {
+		return int(st.byID[lo])
+	}
+	return -1
+}
 
-	st := &PeerState{
-		Closure:    closure,
-		Depth:      make(map[overlay.PeerID]int, s),
-		TreeAdj:    make(map[overlay.PeerID][]overlay.PeerID, s),
-		Flooding:   make(map[overlay.PeerID]bool),
-		KnownPairs: s * (s - 1) / 2,
+// DepthOf returns u's overlay hop distance from the peer and whether u
+// is in the closure at all.
+func (st *PeerState) DepthOf(u overlay.PeerID) (int, bool) {
+	i := st.pos(u)
+	if i < 0 {
+		return 0, false
 	}
-	inClosure := make(map[overlay.PeerID]bool, s)
-	for _, u := range closure {
-		inClosure[u] = true
+	return int(st.depth[i]), true
+}
+
+// TreeNeighbors returns u's neighbors on the peer's multicast tree,
+// sorted ascending, or nil when u is not in the closure. The slice is a
+// view into the state and must not be modified.
+func (st *PeerState) TreeNeighbors(u overlay.PeerID) []overlay.PeerID {
+	i := st.pos(u)
+	if i < 0 {
+		return nil
 	}
-	// BFS depths over the closure subgraph.
-	st.Depth[p] = 0
-	frontier := []overlay.PeerID{p}
-	for d := 1; len(frontier) > 0; d++ {
-		var next []overlay.PeerID
-		for _, u := range frontier {
-			for _, v := range net.NeighborsView(u) {
-				if _, seen := st.Depth[v]; !seen && inClosure[v] {
-					st.Depth[v] = d
-					next = append(next, v)
-				}
+	return st.treeAdj[st.treeOff[i]:st.treeOff[i+1]]
+}
+
+// FloodingView returns the direct neighbors adjacent to the peer on its
+// tree, sorted ascending. The slice is a view into the state and must
+// not be modified.
+func (st *PeerState) FloodingView() []overlay.PeerID { return st.flooding }
+
+// IsFlooding reports whether direct neighbor q is a flooding neighbor.
+func (st *PeerState) IsFlooding(q overlay.PeerID) bool {
+	_, ok := slices.BinarySearch(st.flooding, q)
+	return ok
+}
+
+// buildScratch is one worker's reusable arena for buildState: the
+// epoch-marked visited/position arrays are sized to the whole peer
+// population, everything else to the largest closure seen. All buffers
+// are fully overwritten per build, so states never depend on what a
+// previous build left behind.
+type buildScratch struct {
+	epoch uint32
+	mark  []uint32 // mark[p] == epoch ⇒ p visited in this build
+	posOf []int32  // closure position of p; valid only when marked
+
+	queue []overlay.PeerID // BFS order, reused as the closure source
+	depth []int32          // BFS depths, parallel to queue
+
+	attach []int32
+	vecs   [][]float32
+	prim   graph.PrimDenseScratch
+	cur    []int32 // CSR fill cursors
+
+	// Sparse-ablation buffers.
+	nodes []int
+	edges []graph.Edge
+}
+
+// visited readies the population-sized arrays for a fresh build and
+// returns them.
+func (sc *buildScratch) visited(n int) (mark []uint32, posOf []int32) {
+	if len(sc.mark) < n {
+		sc.mark = make([]uint32, n)
+		sc.posOf = make([]int32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale marks could alias the new epoch
+		clear(sc.mark)
+		sc.epoch = 1
+	}
+	return sc.mark, sc.posOf
+}
+
+// buildState runs Phases 1–2 for peer p against the current network,
+// assembling the flat PeerState through sc. sparse selects the ablation
+// reading (trees over the overlay subgraph only). It only reads the
+// network (via zero-copy neighbor views), so rebuild workers may run it
+// concurrently — each with its own scratch — while no mutation is in
+// flight.
+func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, h int, sparse bool) *PeerState {
+	mark, posOf := sc.visited(net.N())
+
+	// One BFS yields the closure, the positions, and the depths: every
+	// prefix of a shortest ≤h-hop path is itself shortest, so bounding
+	// the expansion at h hops assigns exactly the depths a BFS restricted
+	// to the closure subgraph would.
+	order := append(sc.queue[:0], p)
+	depth := append(sc.depth[:0], 0)
+	mark[p] = sc.epoch
+	posOf[p] = 0
+	for head := 0; head < len(order); head++ {
+		d := depth[head]
+		if int(d) == h {
+			break // BFS order is depth-sorted: nothing left to expand
+		}
+		for _, v := range net.NeighborsView(order[head]) {
+			if mark[v] != sc.epoch {
+				mark[v] = sc.epoch
+				posOf[v] = int32(len(order))
+				order = append(order, v)
+				depth = append(depth, d+1)
 			}
 		}
-		frontier = next
 	}
+	sc.queue, sc.depth = order, depth
+	s := len(order)
 
+	// Tree edges as closure-position pairs, from dense Prim over the
+	// complete cost graph (parent form) or sparse Prim over the overlay
+	// subgraph (edge list, ablation).
+	var parent []int        // dense: parent[i] for i ≥ 1
+	var treeEdges []graph.Edge // sparse: edges with U/V already positions
+	knownPairs := s * (s - 1) / 2
 	if sparse {
-		// Ablation: the tree spans only the overlay edges inside the
-		// closure.
-		var edges []graph.Edge
-		for _, u := range closure {
+		edges := sc.edges[:0]
+		for i := 0; i < s; i++ {
+			u := order[i]
 			for _, v := range net.NeighborsView(u) {
-				if v > u && inClosure[v] {
+				if v > u && mark[v] == sc.epoch {
 					edges = append(edges, graph.Edge{U: int(u), V: int(v), W: net.Cost(u, v)})
 				}
 			}
 		}
-		st.KnownPairs = len(edges)
-		nodes := make([]int, s)
-		for i, u := range closure {
-			nodes[i] = int(u)
+		sc.edges = edges
+		knownPairs = len(edges)
+		nodes := sc.nodes[:0]
+		for _, u := range order {
+			nodes = append(nodes, int(u))
 		}
+		sc.nodes = nodes
 		tree, _ := graph.PrimMST(nodes, edges, int(p))
-		for _, e := range tree {
-			u, v := overlay.PeerID(e.U), overlay.PeerID(e.V)
-			st.TreeAdj[u] = append(st.TreeAdj[u], v)
-			st.TreeAdj[v] = append(st.TreeAdj[v], u)
+		for i := range tree {
+			tree[i].U = int(posOf[tree[i].U])
+			tree[i].V = int(posOf[tree[i].V])
 		}
+		treeEdges = tree
 	} else {
 		// Dense Prim over the complete cost graph on the closure;
-		// closure[0] is p itself, so the tree is rooted at p. Distance
+		// position 0 is p itself, so the tree is rooted at p. Distance
 		// vectors are fetched once per member and indexed directly —
 		// the O(s²) inner loop must not pay the oracle's lock per pair.
 		oracle := net.Oracle()
-		attach := make([]int, s)
-		vecs := make([][]float32, s)
-		for i, u := range st.Closure {
-			attach[i] = net.Attachment(u)
-			vecs[i] = oracle.Vector(attach[i])
+		if cap(sc.attach) < s {
+			sc.attach = make([]int32, s)
+			sc.vecs = make([][]float32, s)
 		}
-		parent := graph.PrimDense(s, func(i, j int) float64 {
+		attach, vecs := sc.attach[:s], sc.vecs[:s]
+		for i, u := range order {
+			a := net.Attachment(u)
+			attach[i] = int32(a)
+			vecs[i] = oracle.Vector(a)
+		}
+		parent = graph.PrimDenseInto(&sc.prim, s, func(i, j int) float64 {
 			return float64(vecs[i][attach[j]])
 		})
-		for i := 1; i < s; i++ {
-			u, v := st.Closure[parent[i]], st.Closure[i]
-			st.TreeAdj[u] = append(st.TreeAdj[u], v)
-			st.TreeAdj[v] = append(st.TreeAdj[v], u)
-		}
-	}
-	for u := range st.TreeAdj {
-		nbrs := st.TreeAdj[u]
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
 	}
 
-	for _, q := range net.NeighborsView(p) {
-		if onTree(st.TreeAdj[p], q) {
-			st.Flooding[q] = true
-		} else {
-			st.NonFlooding = append(st.NonFlooding, q)
+	// Slab allocation: everything the state owns comes from two backing
+	// arrays, so a steady-state rebuild costs O(1) allocations.
+	treeLen := 2 * (s - 1)
+	if sparse {
+		treeLen = 2 * len(treeEdges)
+	}
+	deg := len(net.NeighborsView(p))
+	ids := make([]overlay.PeerID, s+treeLen+deg)
+	meta := make([]int32, s+(s+1)+s)
+
+	st := &PeerState{
+		Closure:    ids[:s:s],
+		KnownPairs: knownPairs,
+		depth:      meta[:s:s],
+		treeOff:    meta[s : 2*s+1 : 2*s+1],
+		treeAdj:    ids[s : s+treeLen : s+treeLen],
+		byID:       meta[2*s+1:],
+	}
+	copy(st.Closure, order)
+	copy(st.depth, depth)
+	for i := range st.byID {
+		st.byID[i] = int32(i)
+	}
+	closure := st.Closure
+	slices.SortFunc(st.byID, func(a, b int32) int {
+		return cmp.Compare(closure[a], closure[b])
+	})
+
+	// CSR tree adjacency: count per-position degrees into treeOff[1:],
+	// prefix-sum, fill through cursors, sort each bucket ascending.
+	off := st.treeOff
+	if sparse {
+		for _, e := range treeEdges {
+			off[e.U+1]++
+			off[e.V+1]++
+		}
+	} else {
+		for i := 1; i < s; i++ {
+			off[parent[i]+1]++
+			off[i+1]++
 		}
 	}
+	for i := 0; i < s; i++ {
+		off[i+1] += off[i]
+	}
+	cur := append(sc.cur[:0], off[:s]...)
+	sc.cur = cur
+	if sparse {
+		for _, e := range treeEdges {
+			st.treeAdj[cur[e.U]] = closure[e.V]
+			cur[e.U]++
+			st.treeAdj[cur[e.V]] = closure[e.U]
+			cur[e.V]++
+		}
+	} else {
+		for i := 1; i < s; i++ {
+			pa := parent[i]
+			st.treeAdj[cur[pa]] = closure[i]
+			cur[pa]++
+			st.treeAdj[cur[i]] = closure[pa]
+			cur[i]++
+		}
+	}
+	for i := 0; i < s; i++ {
+		slices.Sort(st.treeAdj[off[i]:off[i+1]])
+	}
+
+	// Neighbor split: p sits at position 0, so its tree neighbors are
+	// the first CSR bucket (sorted). Both halves fill the tail of the id
+	// slab, each in ascending neighbor order.
+	nbrs := net.NeighborsView(p)
+	treeP := st.treeAdj[off[0]:off[1]]
+	split := ids[s+treeLen:]
+	k := 0
+	for _, q := range nbrs {
+		if onTree(treeP, q) {
+			split[k] = q
+			k++
+		}
+	}
+	st.flooding = split[:k:k]
+	nf := split[k:k]
+	for _, q := range nbrs {
+		if !onTree(treeP, q) {
+			nf = append(nf, q)
+		}
+	}
+	st.NonFlooding = nf
 	return st
 }
 
 func onTree(sorted []overlay.PeerID, q overlay.PeerID) bool {
-	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= q })
-	return i < len(sorted) && sorted[i] == q
+	_, ok := slices.BinarySearch(sorted, q)
+	return ok
 }

@@ -1,8 +1,9 @@
 package experiments
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"ace/internal/core"
@@ -237,11 +238,11 @@ func hopsToTable(hops []gnutella.Hop) QueryPathTable {
 		row.Cost += h.Cost
 		total += h.Cost
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		if order[i].at != order[j].at {
-			return order[i].at < order[j].at
+	slices.SortStableFunc(order, func(a, b key) int {
+		if c := cmp.Compare(a.at, b.at); c != 0 {
+			return c
 		}
-		return order[i].from < order[j].from
+		return cmp.Compare(a.from, b.from)
 	})
 	tbl := QueryPathTable{Total: total}
 	for _, k := range order {

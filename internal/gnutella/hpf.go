@@ -3,7 +3,7 @@ package gnutella
 import (
 	"container/heap"
 	"math"
-	"sort"
+	"slices"
 
 	"ace/internal/overlay"
 	"ace/internal/sim"
@@ -86,12 +86,16 @@ func HybridPeriodicalFlood(net *overlay.Network, rng *sim.RNG, src overlay.PeerI
 		if hop%period != 0 && len(targets) > fanout {
 			switch sel {
 			case HPFNearest:
-				sort.Slice(targets, func(i, j int) bool {
-					ci, cj := net.Cost(p, targets[i]), net.Cost(p, targets[j])
-					if ci != cj {
-						return ci < cj
+				slices.SortFunc(targets, func(a, b overlay.PeerID) int {
+					ca, cb := net.Cost(p, a), net.Cost(p, b)
+					switch {
+					case ca < cb:
+						return -1
+					case ca > cb:
+						return 1
+					default:
+						return int(a - b)
 					}
-					return targets[i] < targets[j]
 				})
 			default:
 				rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 )
 
 // PrimMST computes a minimum spanning tree of the subgraph described by
@@ -65,21 +65,41 @@ func PrimMST(nodes []int, edges []Edge, root int) (tree []Edge, connected bool) 
 	return tree, len(tree) == len(nodes)-1
 }
 
-// PrimDense computes the minimum spanning tree of the complete graph on
-// n nodes with edge costs given by cost(i, j), rooted at node 0, using
-// the classic O(n²) dense Prim — the variant the paper cites ("an
-// algorithm like PRIM which has a computation complexity of O(m²)").
-// It returns parent[i] for each node (parent[0] = -1).
-func PrimDense(n int, cost func(i, j int) float64) []int {
-	parent := make([]int, n)
+// PrimDenseScratch holds the working arrays of PrimDenseInto so repeated
+// dense-MST constructions (one per peer per rebuild) reuse buffers
+// instead of allocating three slices each. The zero value is ready to
+// use; buffers grow on demand and are fully overwritten per call.
+type PrimDenseScratch struct {
+	parent []int
+	best   []float64
+	inTree []bool
+}
+
+// grow resizes the scratch buffers to hold n nodes.
+func (s *PrimDenseScratch) grow(n int) {
+	if cap(s.parent) < n {
+		s.parent = make([]int, n)
+		s.best = make([]float64, n)
+		s.inTree = make([]bool, n)
+	}
+	s.parent = s.parent[:n]
+	s.best = s.best[:n]
+	s.inTree = s.inTree[:n]
+}
+
+// PrimDenseInto is PrimDense over caller-held scratch: the returned
+// parent slice is owned by scratch and valid until its next use, so
+// steady-state callers copy what they keep and allocate nothing here.
+func PrimDenseInto(scratch *PrimDenseScratch, n int, cost func(i, j int) float64) []int {
+	scratch.grow(n)
+	parent, best, inTree := scratch.parent, scratch.best, scratch.inTree
 	if n == 0 {
 		return parent
 	}
-	best := make([]float64, n)
-	inTree := make([]bool, n)
 	for i := range best {
 		best[i] = Inf
 		parent[i] = 0
+		inTree[i] = false
 	}
 	parent[0] = -1
 	best[0] = 0
@@ -101,6 +121,17 @@ func PrimDense(n int, cost func(i, j int) float64) []int {
 		}
 	}
 	return parent
+}
+
+// PrimDense computes the minimum spanning tree of the complete graph on
+// n nodes with edge costs given by cost(i, j), rooted at node 0, using
+// the classic O(n²) dense Prim — the variant the paper cites ("an
+// algorithm like PRIM which has a computation complexity of O(m²)").
+// It returns parent[i] for each node (parent[0] = -1). The returned
+// slice is freshly allocated; hot loops use PrimDenseInto.
+func PrimDense(n int, cost func(i, j int) float64) []int {
+	var scratch PrimDenseScratch
+	return PrimDenseInto(&scratch, n, cost)
 }
 
 // UnionFind is a disjoint-set forest with path halving and union by size.
@@ -163,7 +194,16 @@ func KruskalMST(nodes []int, edges []Edge) (tree []Edge, connected bool) {
 			sorted = append(sorted, e)
 		}
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].W < sorted[j].W })
+	slices.SortStableFunc(sorted, func(a, b Edge) int {
+		switch {
+		case a.W < b.W:
+			return -1
+		case a.W > b.W:
+			return 1
+		default:
+			return 0
+		}
+	})
 	uf := NewUnionFind(len(nodes))
 	for _, e := range sorted {
 		if uf.Union(idx[e.U], idx[e.V]) {

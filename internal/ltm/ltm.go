@@ -13,7 +13,7 @@ package ltm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ace/internal/overlay"
 	"ace/internal/sim"
@@ -179,7 +179,7 @@ func (o *Optimizer) adoptCloser(p overlay.PeerID, rep *Report) {
 			}
 		}
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	slices.Sort(candidates)
 	for _, r := range candidates {
 		if c := o.net.Cost(p, r); c < bestCost {
 			best, bestCost = r, c

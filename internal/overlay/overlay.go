@@ -6,7 +6,7 @@ package overlay
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ace/internal/physical"
 	"ace/internal/sim"
@@ -153,6 +153,26 @@ func (n *Network) Cost(p, q PeerID) float64 {
 // Oracle exposes the underlying physical distance oracle.
 func (n *Network) Oracle() *physical.Oracle { return n.oracle }
 
+// CostsFrom returns a cost view rooted at p: view.To(q) equals Cost(p, q)
+// resolved directly against p's cached distance vector, so loops that
+// price many destinations from one source (Phase-3 candidate scoring,
+// exchange pricing) pay the oracle's read lock once per source instead of
+// once per query.
+func (n *Network) CostsFrom(p PeerID) CostView {
+	return CostView{vec: n.oracle.Vector(n.attach[p]), attach: n.attach}
+}
+
+// CostView is a cost function from a fixed source peer. It holds a
+// read-only reference into the oracle's vector cache and stays valid for
+// the life of the network.
+type CostView struct {
+	vec    []float32
+	attach []int
+}
+
+// To returns the physical delay from the view's source to q.
+func (cv CostView) To(q PeerID) float64 { return float64(cv.vec[cv.attach[q]]) }
+
 // Neighbors returns p's current neighbors in ascending order. The slice
 // is freshly allocated and owned by the caller.
 func (n *Network) Neighbors(p PeerID) []PeerID {
@@ -176,16 +196,29 @@ func (n *Network) NeighborsAppend(p PeerID, buf []PeerID) []PeerID {
 // Degree reports p's current neighbor count.
 func (n *Network) Degree(p PeerID) int { return len(n.nbr[p]) }
 
-// HasEdge reports whether p and q are connected.
+// HasEdge reports whether p and q are connected. Adjacency lists are
+// short for almost every peer (mean degree is a small constant), where a
+// branch-predictable linear scan over the sorted slice beats the
+// per-step indirection of a binary search; hubs fall through to the
+// search. This sits on Phase 3's innermost loop (candidate filtering
+// probes it per neighbor-of-neighbor).
 func (n *Network) HasEdge(p, q PeerID) bool {
 	s := n.nbr[p]
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= q })
-	return i < len(s) && s[i] == q
+	if len(s) <= 16 {
+		for _, v := range s {
+			if v >= q {
+				return v == q
+			}
+		}
+		return false
+	}
+	_, ok := slices.BinarySearch(s, q)
+	return ok
 }
 
 // insertSorted adds q to the sorted slice s, keeping order.
 func insertSorted(s []PeerID, q PeerID) []PeerID {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= q })
+	i, _ := slices.BinarySearch(s, q)
 	s = append(s, 0)
 	copy(s[i+1:], s[i:])
 	s[i] = q
@@ -194,8 +227,8 @@ func insertSorted(s []PeerID, q PeerID) []PeerID {
 
 // removeSorted deletes q from the sorted slice s, keeping order.
 func removeSorted(s []PeerID, q PeerID) []PeerID {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= q })
-	if i < len(s) && s[i] == q {
+	i, ok := slices.BinarySearch(s, q)
+	if ok {
 		s = append(s[:i], s[i+1:]...)
 	}
 	return s

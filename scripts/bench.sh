@@ -1,20 +1,50 @@
 #!/usr/bin/env bash
 # Runs the incremental-round-engine benchmarks and emits BENCH_round.json:
 # one record per benchmark with ns/op, allocs, and the engine's custom
-# metrics (peers-rebuilt/op, full-rebuilds/op).
+# metrics (peers-rebuilt/op, full-rebuilds/op, per-phase round nanos).
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [options] [output.json]
+#   -cpuprofile FILE   capture a CPU profile of the core-engine benchmarks
+#   -memprofile FILE   capture an allocation profile of the same run
+#   -compare [BASE]    do not write output: run fresh and print a ns/op
+#                      comparison against BASE (default: the committed
+#                      BENCH_round.json)
+#
 #   BENCHTIME=2s scripts/bench.sh       # longer runs for stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_round.json}"
+OUT="BENCH_round.json"
 BENCHTIME="${BENCHTIME:-1s}"
-TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+PROFILE_FLAGS=()
+COMPARE=""
+BASE="BENCH_round.json"
 
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -cpuprofile) PROFILE_FLAGS+=(-cpuprofile "$2"); shift 2 ;;
+        -memprofile) PROFILE_FLAGS+=(-memprofile "$2"); shift 2 ;;
+        -compare)
+            COMPARE=1
+            if [ $# -gt 1 ] && [ "${2#-}" = "$2" ]; then
+                BASE="$2"
+                shift
+            fi
+            shift ;;
+        -*) echo "bench.sh: unknown flag $1" >&2; exit 2 ;;
+        *) OUT="$1"; shift ;;
+    esac
+done
+
+TMP="$(mktemp)"
+TMPJSON="$(mktemp)"
+trap 'rm -f "$TMP" "$TMPJSON"' EXIT
+
+# Profiles only make sense on one package; attach them to the core-engine
+# run, which is what the perf work targets.
 go test -run '^$' -bench 'BenchmarkRebuildTrees|BenchmarkRoundChurn' \
-    -benchmem -benchtime "$BENCHTIME" ./internal/core/ | tee "$TMP"
+    -benchmem -benchtime "$BENCHTIME" \
+    ${PROFILE_FLAGS[@]+"${PROFILE_FLAGS[@]}"} ./internal/core/ | tee "$TMP"
 go test -run '^$' -bench 'BenchmarkDelayWarm' \
     -benchmem -benchtime "$BENCHTIME" ./internal/physical/ | tee -a "$TMP"
 
@@ -35,6 +65,34 @@ go test -run '^$' -bench 'BenchmarkDelayWarm' \
         }
     ' "$TMP"
     printf '  ]\n}\n'
-} > "$OUT"
+} > "$TMPJSON"
 
-echo "wrote $OUT"
+if [ -n "$COMPARE" ]; then
+    [ -f "$BASE" ] || { echo "bench.sh: baseline $BASE not found" >&2; exit 1; }
+    echo
+    echo "vs $BASE:"
+    awk '
+        function parse(line) {
+            match(line, /"name": "[^"]*"/)
+            name = substr(line, RSTART + 9, RLENGTH - 10)
+            match(line, /"ns\/op": [0-9.e+-]+/)
+            ns = substr(line, RSTART + 9, RLENGTH - 9) + 0
+        }
+        /"name"/ && FILENAME == ARGV[1] { parse($0); base[name] = ns; next }
+        /"name"/ { parse($0); cur[name] = ns; order[k++] = name }
+        END {
+            printf "%-55s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta"
+            for (i = 0; i < k; i++) {
+                n = order[i]
+                if (n in base && base[n] > 0)
+                    printf "%-55s %14.0f %14.0f %+7.1f%%\n", n, base[n], cur[n], (cur[n] - base[n]) / base[n] * 100
+                else
+                    printf "%-55s %14s %14.0f\n", n, "-", cur[n]
+            }
+        }
+    ' "$BASE" "$TMPJSON"
+else
+    mv "$TMPJSON" "$OUT"
+    TMPJSON="$TMP" # already consumed; keep the trap happy
+    echo "wrote $OUT"
+fi
