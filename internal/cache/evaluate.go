@@ -1,9 +1,7 @@
 package cache
 
 import (
-	"container/heap"
 	"math"
-	"time"
 
 	"ace/internal/core"
 	"ace/internal/gnutella"
@@ -21,74 +19,33 @@ type Result struct {
 	StaleHits int
 }
 
-type hop struct {
-	at      time.Duration
-	seq     uint64
-	to      overlay.PeerID
-	from    overlay.PeerID
-	serving overlay.PeerID
-	adj     core.TreeAdj
-	covered *core.CoveredSet
-	ttl     int
-}
-
-type hopHeap []hop
-
-func (h hopHeap) Len() int { return len(h) }
-func (h hopHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h hopHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *hopHeap) Push(x any)   { *h = append(*h, x.(hop)) }
-func (h *hopHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-const msPerDur = float64(time.Millisecond)
-
 // Evaluate propagates one query as gnutella.Evaluate does, with the index
 // caching scheme layered on: a relay whose index holds a live entry for
 // the keyword answers immediately and does not forward; actual holders
 // answer and keep forwarding (standard Gnutella). After the flood, every
 // peer on the inverse path of the earliest answer learns the responder —
 // the QueryHit filling caches as it travels home.
+//
+// The flood runs on the shared pooled gnutella.Kernel: dense epoch-stamped
+// arrival state, the typed event heap, and the allocation-free scratch
+// forwarding path, with only the cache probes layered on this package's
+// side of the loop.
 func Evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl, keyword int, holds func(overlay.PeerID, int) bool, store *Store) Result {
-	res := Result{QueryResult: gnutella.QueryResult{
-		Arrival:       map[overlay.PeerID]float64{src: 0},
-		FirstResponse: math.Inf(1),
-	}}
+	res := Result{QueryResult: gnutella.QueryResult{FirstResponse: math.Inf(1)}}
 	if !net.Alive(src) {
-		res.Arrival = nil
 		return res
 	}
-	res.Scope = 1
+	k := gnutella.AcquireKernel()
+	defer gnutella.ReleaseKernel(k)
+	k.Begin(net, fwd, false)
+	k.Arrive(src, -1, 0)
 
 	// answerer is the peer whose answer arrives home first; target is
-	// the object holder it names (itself, or its index entry).
+	// the object holder it names (itself, or its index entry). The
+	// return trip prices at the kernel's memoized inverse-path cost.
 	var answerer, target overlay.PeerID = -1, -1
-	back := map[overlay.PeerID]overlay.PeerID{}
-	// returnTime walks the inverse query path back to the source.
-	returnTime := func(p overlay.PeerID) float64 {
-		total := 0.0
-		for p != src {
-			prev, ok := back[p]
-			if !ok {
-				return math.Inf(1)
-			}
-			total += net.Cost(p, prev)
-			p = prev
-		}
-		return total
-	}
 	answer := func(p overlay.PeerID, atMS float64, holder overlay.PeerID) {
-		if rt := atMS + returnTime(p); rt < res.FirstResponse {
+		if rt := atMS + k.ReturnTime(p); rt < res.FirstResponse {
 			res.FirstResponse = rt
 			answerer, target = p, holder
 		}
@@ -106,71 +63,53 @@ func Evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl,
 		}
 	}
 
-	var q hopHeap
-	var seq uint64
-	served := map[uint64]bool{}
-	key := func(p, tree overlay.PeerID) uint64 {
-		return uint64(uint32(p))<<32 | uint64(uint32(tree))
-	}
-	send := func(at time.Duration, from overlay.PeerID, s core.Send, ttl int) {
-		c := net.Cost(from, s.To)
-		res.TrafficCost += c
-		res.Transmissions++
-		heap.Push(&q, hop{at: at + time.Duration(c*msPerDur), seq: seq, to: s.To, from: from, serving: s.Tree, adj: s.Adj, covered: s.Covered, ttl: ttl})
-		seq++
-	}
-	emit := func(at time.Duration, p overlay.PeerID, sends []core.Send, ttl int) {
-		for _, s := range sends {
-			if s.Tree != core.NoTree && served[key(p, s.Tree)] {
-				continue
-			}
-			send(at, p, s, ttl)
-		}
-		for _, s := range sends {
-			if s.Tree != core.NoTree {
-				served[key(p, s.Tree)] = true
-			}
-		}
-	}
 	if ttl > 0 {
-		emit(0, src, fwd.Forward(src, src, -1, core.NoTree, nil, nil, true), ttl-1)
+		k.Emit(0, src, k.ForwardOf(src, src, -1, core.NoTree, nil, -1, nil, true), ttl-1)
 	}
-	for len(q) > 0 {
-		m := heap.Pop(&q).(hop)
-		first := false
-		atMS := float64(m.at) / msPerDur
-		if _, seen := res.Arrival[m.to]; seen {
-			res.Duplicates++
-		} else {
-			first = true
-			res.Arrival[m.to] = atMS
-			back[m.to] = m.from
-			res.Scope++
+	for {
+		m, ok := k.Next()
+		if !ok {
+			break
 		}
-
+		first := !k.Arrived(m.To)
 		forward := true
-		if first {
+		if !first {
+			k.Duplicate()
+		} else {
+			k.Arrive(m.To, m.From, m.At)
 			switch {
-			case holds(m.to, keyword):
-				answer(m.to, atMS, m.to)
+			case holds(m.To, keyword):
+				answer(m.To, k.ArrivalMS(m.To), m.To)
 			default:
-				if r, ok := store.Of(m.to).Get(keyword); ok {
+				if r, ok := store.Of(m.To).Get(keyword); ok {
 					if net.Alive(r) {
 						res.CacheHits++
-						answer(m.to, atMS, r)
+						answer(m.To, k.ArrivalMS(m.To), r)
 						forward = false // index answer terminates this branch
 					} else {
-						store.Of(m.to).Invalidate(keyword)
+						store.Of(m.To).Invalidate(keyword)
 						res.StaleHits++
 					}
 				}
 			}
 		}
-		if !forward || m.ttl <= 0 {
+		if !forward || m.TTL <= 0 {
 			continue
 		}
-		emit(m.at, m.to, fwd.Forward(src, m.to, m.from, m.serving, m.adj, m.covered, first), m.ttl-1)
+		if !first && (m.Serving == core.NoTree || k.Served(m.To, m.Serving)) {
+			// A duplicate forwards nothing new: blind relays only first
+			// copies, and a continuation of an already-served tag would be
+			// dropped by Emit's dedup — so skip the forwarder.
+			continue
+		}
+		k.Emit(m.At, m.To, k.ForwardOf(src, m.To, m.From, m.Serving, m.Adj, m.ToPos, m.Covered, first), m.TTL-1)
 	}
+
+	res.Scope = k.Scope()
+	res.TrafficCost = k.Traffic()
+	res.Transmissions = k.Transmissions()
+	res.Duplicates = k.Duplicates()
+	res.Arrival = k.ArrivalMap()
 
 	// The winning QueryHit travels the inverse path home, populating the
 	// index of every peer it passes (including the source).
@@ -179,7 +118,7 @@ func Evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl,
 			if p != target {
 				store.Of(p).Put(keyword, target)
 			}
-			prev, ok := back[p]
+			prev, ok := k.Back(p)
 			if !ok || p == src {
 				break
 			}

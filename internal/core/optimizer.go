@@ -26,7 +26,10 @@ type Optimizer struct {
 	net *overlay.Network
 	cfg Config
 
-	state map[overlay.PeerID]*PeerState
+	// state holds each peer's Phase-1/2 state, dense-indexed by id (nil
+	// for dead or never-built peers) so the forwarding hot path reads it
+	// with one array load instead of a map probe.
+	state []*PeerState
 	// pending records the deferred Figure-4(c) replacements: pending[a][b]
 	// holds the candidate h that a connected to while keeping its
 	// non-flooding neighbor b. a cuts a—b once it observes (via the
@@ -143,7 +146,7 @@ func NewOptimizer(net *overlay.Network, cfg Config) (*Optimizer, error) {
 	return &Optimizer{
 		net:     net,
 		cfg:     cfg,
-		state:   make(map[overlay.PeerID]*PeerState),
+		state:   make([]*PeerState, net.N()),
 		pending: make(map[overlay.PeerID]map[overlay.PeerID]pendingCut),
 		contrib: make(map[overlay.PeerID]float64),
 	}, nil
@@ -157,7 +160,12 @@ func (o *Optimizer) Network() *overlay.Network { return o.net }
 
 // State returns the Phase-1/2 state of p from the last rebuild, or nil if
 // p had none (dead, or joined after the last round).
-func (o *Optimizer) State(p overlay.PeerID) *PeerState { return o.state[p] }
+func (o *Optimizer) State(p overlay.PeerID) *PeerState {
+	if int(p) >= len(o.state) {
+		return nil
+	}
+	return o.state[p]
+}
 
 // RebuildStats reports how rebuilds resolved since construction.
 func (o *Optimizer) RebuildStats() RebuildStats { return o.stats }
@@ -281,7 +289,7 @@ func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty map[overlay.PeerI
 			if old := o.state[ev.P]; old != nil {
 				o.revDrop(ev.P, old)
 			}
-			delete(o.state, ev.P)
+			o.state[ev.P] = nil
 			delete(o.contrib, ev.P)
 		}
 	}
@@ -338,6 +346,7 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 	if n := o.net.N(); len(o.rev) < n {
 		o.rev = append(o.rev, make([][]revEntry, n-len(o.rev))...)
 		o.revGen = append(o.revGen, make([]uint32, n-len(o.revGen))...)
+		o.state = append(o.state, make([]*PeerState, n-len(o.state))...)
 	}
 	for i, p := range list {
 		if old := o.state[p]; old != nil {
@@ -823,5 +832,11 @@ func (o *Optimizer) FloodingNeighbors(p overlay.PeerID) []overlay.PeerID {
 
 // String implements fmt.Stringer for debugging.
 func (o *Optimizer) String() string {
-	return fmt.Sprintf("ACE(h=%d, policy=%s, peers=%d)", o.cfg.Depth, o.cfg.Policy, len(o.state))
+	built := 0
+	for _, st := range o.state {
+		if st != nil {
+			built++
+		}
+	}
+	return fmt.Sprintf("ACE(h=%d, policy=%s, peers=%d)", o.cfg.Depth, o.cfg.Policy, built)
 }

@@ -183,7 +183,7 @@ func TestTreeForwardingSourceLaunchesOwnTree(t *testing.T) {
 	sends := fwd.Forward(0, 0, -1, NoTree, nil, nil, true)
 	sendsEqual(t, sends, []Send{{To: 1, Tree: 0}})
 	// The launch carries the full tree and claims the whole closure.
-	if len(sends[0].Adj) != 4 {
+	if sends[0].Adj.Len() != 4 {
 		t.Fatalf("launch adj = %v, want the full 4-node tree", sends[0].Adj)
 	}
 	for _, q := range []overlay.PeerID{0, 1, 2, 3} {

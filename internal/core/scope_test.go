@@ -15,7 +15,7 @@ func floodScope(o *Optimizer, src overlay.PeerID) map[overlay.PeerID]bool {
 	fwd := TreeForwarding{Opt: o}
 	type msg struct {
 		to, from, serving overlay.PeerID
-		adj               TreeAdj
+		adj               *TreeAdj
 		covered           *CoveredSet
 	}
 	visited := map[overlay.PeerID]bool{src: true}

@@ -51,9 +51,27 @@ type PeerState struct {
 	// sorted ascending.
 	treeOff []int32
 	treeAdj []overlay.PeerID
+	// treeAdjPos mirrors treeAdj with closure positions instead of ids,
+	// so tree traversals (launch pruning) run entirely in position space
+	// without any id lookups.
+	treeAdjPos []int32
+	// parentPos[i] is the closure position of Closure[i]'s parent on the
+	// tree rooted at the owner (position 0; -1 for the root itself), so
+	// pruning walks target→root paths directly.
+	parentPos []int32
+	// treeCost mirrors treeAdj with the physical delay of each directed
+	// tree edge, read from the sending side's distance vector at build
+	// time — exactly the value the flood accounting would fetch per send.
+	// nil in the sparse ablation, where build-time and query-time cost
+	// resolutions may disagree in the last float bit.
+	treeCost []float32
 	// byID lists closure positions ordered by peer id, for O(log s)
 	// id → position lookups.
 	byID []int32
+
+	// full is the whole-tree adjacency view handed to unpruned launches;
+	// caching it here gives every launch one stable header pointer.
+	full TreeAdj
 }
 
 // pos returns u's closure position, or -1 when u is not in the closure.
@@ -93,6 +111,12 @@ func (st *PeerState) TreeNeighbors(u overlay.PeerID) []overlay.PeerID {
 	}
 	return st.treeAdj[st.treeOff[i]:st.treeOff[i+1]]
 }
+
+// FullTree returns the peer's whole multicast tree as a TreeAdj view
+// over the state's CSR slabs — the adjacency an unpruned launch (the
+// query source) carries. No copying happens; the view shares the
+// state's backing arrays and stays valid as long as the state does.
+func (st *PeerState) FullTree() *TreeAdj { return &st.full }
 
 // FloodingView returns the direct neighbors adjacent to the peer on its
 // tree, sorted ascending. The slice is a view into the state and must
@@ -181,7 +205,7 @@ func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, h int,
 	// Tree edges as closure-position pairs, from dense Prim over the
 	// complete cost graph (parent form) or sparse Prim over the overlay
 	// subgraph (edge list, ablation).
-	var parent []int        // dense: parent[i] for i ≥ 1
+	var parent []int           // dense: parent[i] for i ≥ 1
 	var treeEdges []graph.Edge // sparse: edges with U/V already positions
 	knownPairs := s * (s - 1) / 2
 	if sparse {
@@ -236,7 +260,7 @@ func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, h int,
 	}
 	deg := len(net.NeighborsView(p))
 	ids := make([]overlay.PeerID, s+treeLen+deg)
-	meta := make([]int32, s+(s+1)+s)
+	meta := make([]int32, s+(s+1)+s+treeLen+s)
 
 	st := &PeerState{
 		Closure:    ids[:s:s],
@@ -244,7 +268,9 @@ func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, h int,
 		depth:      meta[:s:s],
 		treeOff:    meta[s : 2*s+1 : 2*s+1],
 		treeAdj:    ids[s : s+treeLen : s+treeLen],
-		byID:       meta[2*s+1:],
+		byID:       meta[2*s+1 : 3*s+1 : 3*s+1],
+		treeAdjPos: meta[3*s+1 : 3*s+1+treeLen : 3*s+1+treeLen],
+		parentPos:  meta[3*s+1+treeLen:],
 	}
 	copy(st.Closure, order)
 	copy(st.depth, depth)
@@ -294,6 +320,42 @@ func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, h int,
 	for i := 0; i < s; i++ {
 		slices.Sort(st.treeAdj[off[i]:off[i+1]])
 	}
+	// The position mirror is filled after the sort through the BFS
+	// scratch, which still maps every closure member's id to its
+	// position — no per-entry search needed.
+	for i, v := range st.treeAdj {
+		st.treeAdjPos[i] = posOf[v]
+	}
+	if !sparse {
+		// Edge-cost mirror, read from the vectors the Prim pass already
+		// fetched: entry x of bucket i is the delay Closure[i] pays to
+		// reach treeAdj[x] — the sender-side resolution query accounting
+		// uses, memoized so floods never touch the vectors per send.
+		st.treeCost = make([]float32, treeLen)
+		attach, vecs := sc.attach[:s], sc.vecs[:s]
+		for i := 0; i < s; i++ {
+			for x := off[i]; x < off[i+1]; x++ {
+				st.treeCost[x] = vecs[i][attach[st.treeAdjPos[x]]]
+			}
+		}
+	}
+	// parentPos: a BFS over the finished CSR from position 0 orients
+	// every tree edge toward the owner. The cursor slice doubles as the
+	// queue — it is dead after the CSR fill.
+	pp := st.parentPos
+	pp[0] = -1
+	bfs := append(cur[:0], 0)
+	for head := 0; head < len(bfs); head++ {
+		n := bfs[head]
+		for _, c := range st.treeAdjPos[off[n]:off[n+1]] {
+			if c != pp[n] {
+				pp[c] = n
+				bfs = append(bfs, c)
+			}
+		}
+	}
+	sc.cur = bfs
+	st.full = TreeAdj{nodes: st.Closure, off: st.treeOff, adj: st.treeAdj, adjPos: st.treeAdjPos, cost: st.treeCost, byID: st.byID}
 
 	// Neighbor split: p sits at position 0, so its tree neighbors are
 	// the first CSR bucket (sorted). Both halves fill the tail of the id
@@ -320,6 +382,16 @@ func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, h int,
 }
 
 func onTree(sorted []overlay.PeerID, q overlay.PeerID) bool {
+	// Neighbor and member lists are usually a few dozen entries; a linear
+	// scan with early exit beats the branch-heavy binary search there.
+	if len(sorted) <= 32 {
+		for _, v := range sorted {
+			if v >= q {
+				return v == q
+			}
+		}
+		return false
+	}
 	_, ok := slices.BinarySearch(sorted, q)
 	return ok
 }

@@ -141,6 +141,13 @@ type QuerySample struct {
 // given forwarder, each with RespondersPerQuery random responders. The
 // label decorrelates this call's randomness from other measurements on
 // the same environment.
+//
+// Queries run in parallel across the worker pool, and the result is
+// bit-identical to a serial run: each query index draws from its own
+// derived RNG stream (so no stream is shared across goroutines), the
+// delay-oracle cache is pre-warmed for every live peer (so no lookup's
+// value can depend on which goroutine populated the cache first), and
+// the per-query metrics land in per-index slots folded in index order.
 func (e *Env) MeasureQueries(fwd core.Forwarder, n int, label string) QuerySample {
 	rng := e.RNG.Derive("queries/" + label)
 	alive := e.Net.AlivePeers()
@@ -148,18 +155,40 @@ func (e *Env) MeasureQueries(fwd core.Forwarder, n int, label string) QuerySampl
 	if len(alive) == 0 {
 		return s
 	}
-	for i := 0; i < n; i++ {
-		src := alive[rng.Intn(len(alive))]
+	warmOracle(e.Net, alive)
+	type point struct{ traffic, response, scope float64 }
+	results := make([]point, n)
+	_ = forEach(n, func(i int) error {
+		qrng := rng.DeriveN("q", i)
+		src := alive[qrng.Intn(len(alive))]
 		responders := make(map[overlay.PeerID]bool, e.Scale.RespondersPerQuery)
 		for len(responders) < e.Scale.RespondersPerQuery {
-			responders[alive[rng.Intn(len(alive))]] = true
+			responders[alive[qrng.Intn(len(alive))]] = true
 		}
 		r := gnutella.Evaluate(e.Net, fwd, src, e.Scale.TTL, responders)
-		s.Traffic.Add(r.TrafficCost)
-		s.Response.Add(r.FirstResponse)
-		s.Scope.Add(float64(r.Scope))
+		results[i] = point{r.TrafficCost, r.FirstResponse, float64(r.Scope)}
+		return nil
+	})
+	for i := range results {
+		s.Traffic.Add(results[i].traffic)
+		s.Response.Add(results[i].response)
+		s.Scope.Add(results[i].scope)
 	}
 	return s
+}
+
+// warmOracle ensures every live peer's distance vector is cached before
+// queries fan out. The oracle answers a (u,v) delay from whichever
+// endpoint's vector it finds first, so an unwarmed cache would let
+// worker timing pick the direction — and the two directions' float
+// values need not match bit for bit.
+func warmOracle(net *overlay.Network, alive []overlay.PeerID) {
+	oracle := net.Oracle()
+	sources := make([]int, len(alive))
+	for i, p := range alive {
+		sources[i] = net.Attachment(p)
+	}
+	oracle.Warm(sources, 0)
 }
 
 // forEach runs fn over the items with a bounded worker pool. Results

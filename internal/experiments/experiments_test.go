@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
@@ -510,5 +511,49 @@ func TestStaticConvergenceDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("step %d differs: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestMeasureQueriesParallelDeterminism pins the tentpole guarantee of
+// the parallel query path: a run across the full worker pool produces a
+// QuerySample bit-identical to a run forced onto one worker
+// (GOMAXPROCS=1), for both forwarders. Fresh environments per run keep
+// the oracle cache from leaking state between the two.
+func TestMeasureQueriesParallelDeterminism(t *testing.T) {
+	build := func() (*Env, *core.Optimizer) {
+		env, err := BuildEnv(11, testScale, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := core.NewOptimizer(env.Net, core.DefaultConfig(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.RebuildTrees()
+		return env, opt
+	}
+
+	envP, optP := build()
+	parTree := envP.MeasureQueries(core.TreeForwarding{Opt: optP}, 24, "det")
+	parBlind := envP.MeasureQueries(core.BlindFlooding{Net: envP.Net}, 24, "det-blind")
+
+	prev := runtime.GOMAXPROCS(1)
+	envS, optS := build()
+	serTree := envS.MeasureQueries(core.TreeForwarding{Opt: optS}, 24, "det")
+	serBlind := envS.MeasureQueries(core.BlindFlooding{Net: envS.Net}, 24, "det-blind")
+	runtime.GOMAXPROCS(prev)
+
+	if parTree != serTree {
+		t.Fatalf("tree sample diverged:\nparallel %+v\nserial   %+v", parTree, serTree)
+	}
+	if parBlind != serBlind {
+		t.Fatalf("blind sample diverged:\nparallel %+v\nserial   %+v", parBlind, serBlind)
+	}
+
+	// And the parallel run itself is reproducible.
+	envR, optR := build()
+	again := envR.MeasureQueries(core.TreeForwarding{Opt: optR}, 24, "det")
+	if again != parTree {
+		t.Fatalf("parallel rerun diverged:\n%+v\n%+v", again, parTree)
 	}
 }

@@ -21,13 +21,26 @@ type Engine struct {
 	// TreeForwarding to run the same workload over ACE.
 	Fwd core.Forwarder
 	// Horizon bounds how long a query's duplicate-suppression state is
-	// retained after issue. Zero means QueryStats live forever (fine for
-	// short runs and tests).
+	// retained after issue. Zero leaves retirement to the MaxQueries cap
+	// alone.
 	Horizon time.Duration
+	// MaxQueries caps how many QueryStats the engine retains at once:
+	// when a new query would exceed it, the oldest retained query is
+	// evicted (its in-flight messages still deliver — they hold the
+	// stats object directly — but the engine forgets it). Zero means
+	// DefaultMaxQueries; negative means unlimited.
+	MaxQueries int
 
-	nextGUID GUID
-	queries  map[GUID]*QueryStats
+	nextGUID  GUID
+	evictNext GUID // lowest GUID possibly still retained
+	queries   map[GUID]*QueryStats
+	fsc       core.FloodScratch
+	sends     []core.Send
 }
+
+// DefaultMaxQueries bounds Engine.queries when MaxQueries is unset: a
+// long-lived engine no longer retains every GUID it ever issued.
+const DefaultMaxQueries = 1024
 
 // QueryStats accumulates the metrics of one query flood as its messages
 // are delivered.
@@ -86,6 +99,18 @@ func (e *Engine) InjectQuery(src overlay.PeerID, ttl, keyword int, responder fun
 	if e.Horizon > 0 {
 		e.Sim.After(e.Horizon, func() { delete(e.queries, guid) })
 	}
+	if cap := e.maxQueries(); cap > 0 {
+		for len(e.queries) > cap {
+			for e.evictNext < guid {
+				_, ok := e.queries[e.evictNext]
+				delete(e.queries, e.evictNext)
+				e.evictNext++
+				if ok {
+					break
+				}
+			}
+		}
+	}
 	if !e.Net.Alive(src) {
 		return qs
 	}
@@ -96,9 +121,35 @@ func (e *Engine) InjectQuery(src overlay.PeerID, ttl, keyword int, responder fun
 		qs.Responses++
 	}
 	if ttl > 0 {
-		e.emit(qs, src, e.Fwd.Forward(src, src, -1, core.NoTree, nil, nil, true), ttl-1, responder)
+		e.emit(qs, src, e.forwardOf(src, src, -1, core.NoTree, nil, -1, nil, true), ttl-1, responder)
 	}
 	return qs
+}
+
+func (e *Engine) maxQueries() int {
+	if e.MaxQueries == 0 {
+		return DefaultMaxQueries
+	}
+	if e.MaxQueries < 0 {
+		return 0
+	}
+	return e.MaxQueries
+}
+
+// forwardOf asks the forwarder for p's transmissions through the
+// engine-owned scratch when the forwarder supports it, so per-hop set
+// bookkeeping stops allocating. No arena is armed: engine queries
+// interleave on the virtual clock, so there is no drain boundary at
+// which slab memory could be reclaimed — pruned adjacencies stay
+// individually heap-allocated and live as long as messages hold them.
+// The returned slice is reused by the next call; emit copies each Send
+// into its scheduled closure before then.
+func (e *Engine) forwardOf(src, p, from, serving overlay.PeerID, adj *core.TreeAdj, pPos int32, covered *core.CoveredSet, first bool) []core.Send {
+	if sfwd, ok := e.Fwd.(core.ScratchForwarder); ok {
+		e.sends = sfwd.ForwardInto(&e.fsc, e.sends[:0], src, p, from, serving, adj, pPos, covered, first)
+		return e.sends
+	}
+	return e.Fwd.Forward(src, p, from, serving, adj, covered, first)
 }
 
 // emit sends a forward batch, enforcing the per-(peer, tree)
@@ -144,7 +195,7 @@ func (e *Engine) deliverQuery(qs *QueryStats, from overlay.PeerID, s core.Send, 
 	if ttl <= 0 {
 		return
 	}
-	e.emit(qs, to, e.Fwd.Forward(qs.Src, to, from, s.Tree, s.Adj, s.Covered, first), ttl-1, responder)
+	e.emit(qs, to, e.forwardOf(qs.Src, to, from, s.Tree, s.Adj, s.ToPos, s.Covered, first), ttl-1, responder)
 }
 
 // sendHit routes a query hit one hop backwards along the inverse query

@@ -1,7 +1,6 @@
 package gnutella
 
 import (
-	"container/heap"
 	"math"
 	"time"
 
@@ -30,36 +29,6 @@ type QueryResult struct {
 	// Arrival maps each reached peer to its arrival time in
 	// milliseconds.
 	Arrival map[overlay.PeerID]float64
-}
-
-type inflight struct {
-	at      time.Duration
-	seq     uint64
-	to      overlay.PeerID
-	from    overlay.PeerID
-	serving overlay.PeerID
-	adj     core.TreeAdj
-	covered *core.CoveredSet
-	ttl     int
-}
-
-type inflightHeap []inflight
-
-func (h inflightHeap) Len() int { return len(h) }
-func (h inflightHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h inflightHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *inflightHeap) Push(x any)   { *h = append(*h, x.(inflight)) }
-func (h *inflightHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }
 
 const msPerDur = float64(time.Millisecond)
@@ -93,89 +62,82 @@ func EvaluateTrace(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID,
 	return evaluate(net, fwd, src, ttl, responders, true)
 }
 
+// evaluate runs the flood on a pooled Kernel: all per-query state lives
+// on epoch-stamped dense arrays, the event queue is a non-boxing typed
+// heap, and forwarding goes through the allocation-free scratch path
+// when the forwarder supports it. The (at, seq) total order makes the
+// pop sequence unique regardless of heap implementation, so results are
+// bit-identical to the map-based reference evaluator (the differential
+// test pins this).
 func evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl int, responders map[overlay.PeerID]bool, trace bool) (QueryResult, []Hop) {
-	var hops []Hop
-	res := QueryResult{
-		Arrival:       map[overlay.PeerID]float64{src: 0},
-		FirstResponse: math.Inf(1),
-	}
 	if !net.Alive(src) {
-		res.Arrival = nil
-		return res, nil
+		return QueryResult{FirstResponse: math.Inf(1)}, nil
 	}
-	res.Scope = 1
-	if responders[src] {
-		res.FirstResponse = 0
-	}
-	back := map[overlay.PeerID]overlay.PeerID{}
-	// returnTime walks the inverse query path (the Gnutella QueryHit
-	// route) from p back to the source, summing the hop delays.
-	returnTime := func(p overlay.PeerID) float64 {
-		total := 0.0
-		for p != src {
-			prev, ok := back[p]
-			if !ok {
-				return math.Inf(1)
-			}
-			total += net.Cost(p, prev)
-			p = prev
-		}
-		return total
-	}
-
-	var q inflightHeap
-	var seq uint64
-	// served dedups tree continuations: peer p forwards tree T at most
-	// once (key p<<32|T).
-	served := map[uint64]bool{}
-	send := func(at time.Duration, from overlay.PeerID, s core.Send, ttl int) {
-		c := net.Cost(from, s.To)
-		res.TrafficCost += c
-		res.Transmissions++
-		if trace {
-			hops = append(hops, Hop{From: from, To: s.To, Cost: c, SentAt: float64(at) / msPerDur})
-		}
-		heap.Push(&q, inflight{at: at + delayDur(c), seq: seq, to: s.To, from: from, serving: s.Tree, adj: s.Adj, covered: s.Covered, ttl: ttl})
-		seq++
-	}
-	emit := func(at time.Duration, p overlay.PeerID, sends []core.Send, ttl int) {
-		for _, s := range sends {
-			if s.Tree != core.NoTree && served[treeKey(p, s.Tree)] {
-				continue
-			}
-			send(at, p, s, ttl)
-		}
-		for _, s := range sends {
-			if s.Tree != core.NoTree {
-				served[treeKey(p, s.Tree)] = true
-			}
-		}
+	k := AcquireKernel()
+	defer ReleaseKernel(k)
+	k.Begin(net, fwd, trace)
+	k.MarkResponders(responders)
+	k.Arrive(src, -1, 0)
+	first := math.Inf(1)
+	if k.IsResponder(src) {
+		first = 0
 	}
 
 	if ttl > 0 {
-		emit(0, src, fwd.Forward(src, src, -1, core.NoTree, nil, nil, true), ttl-1)
+		k.Emit(0, src, k.ForwardOf(src, src, -1, core.NoTree, nil, -1, nil, true), ttl-1)
 	}
-	for len(q) > 0 {
-		m := heap.Pop(&q).(inflight)
-		_, seen := res.Arrival[m.to]
-		if seen {
-			res.Duplicates++
+	// The delivery loop works on the kernel's internals directly — the
+	// popped key indexes the payload array and the launch table resolves
+	// lazily — instead of materializing a Flight per message as the
+	// exported Next does for external drivers.
+	for k.queueLen() > 0 {
+		key := k.popFlight()
+		m := k.pay[key.seq]
+		to := overlay.PeerID(m.to)
+		firstCopy := !k.Arrived(to)
+		if !firstCopy {
+			k.Duplicate()
 		} else {
-			res.Arrival[m.to] = float64(m.at) / msPerDur
-			res.Scope++
-			back[m.to] = m.from
-			if responders[m.to] {
+			k.Arrive(to, overlay.PeerID(m.from), key.at)
+			if k.IsResponder(to) {
 				// A QueryHit returns along the inverse query path (the
-				// Gnutella response rule): arrival plus the back-walk.
-				if rt := float64(m.at)/msPerDur + returnTime(m.to); rt < res.FirstResponse {
-					res.FirstResponse = rt
+				// Gnutella response rule): arrival plus the memoized
+				// path cost back to the source.
+				if rt := k.ArrivalMS(to) + k.ReturnTime(to); rt < first {
+					first = rt
 				}
 			}
 		}
 		if m.ttl <= 0 {
 			continue
 		}
-		emit(m.at, m.to, fwd.Forward(src, m.to, m.from, m.serving, m.adj, m.covered, !seen), m.ttl-1)
+		serving := core.NoTree
+		var adj *core.TreeAdj
+		var covered *core.CoveredSet
+		if m.launch >= 0 {
+			l := &k.launches[m.launch]
+			serving, adj, covered = l.tree, l.adj, l.covered
+		}
+		if !firstCopy && (serving == core.NoTree || k.Served(to, serving)) {
+			// A duplicate forwards nothing new: blind relays only first
+			// copies, and a continuation of an already-served tag would
+			// be dropped by Emit's dedup — so skip the forwarder.
+			continue
+		}
+		k.Emit(key.at, to, k.ForwardOf(src, to, overlay.PeerID(m.from), serving, adj, m.toPos, covered, firstCopy), int(m.ttl)-1)
+	}
+
+	res := QueryResult{
+		Scope:         k.Scope(),
+		TrafficCost:   k.Traffic(),
+		Transmissions: k.Transmissions(),
+		Duplicates:    k.Duplicates(),
+		FirstResponse: first,
+		Arrival:       k.ArrivalMap(),
+	}
+	var hops []Hop
+	if trace {
+		hops = append(hops, k.hops...) // copy out: the kernel is pooled
 	}
 	return res, hops
 }

@@ -290,6 +290,37 @@ func TestEngineHorizonCleansUp(t *testing.T) {
 	}
 }
 
+func TestEngineQueriesBounded(t *testing.T) {
+	net := lineNet(t, []int{0, 1})
+	net.Connect(0, 1)
+	s := sim.NewEngine()
+	eng := NewEngine(s, net, core.BlindFlooding{Net: net})
+	eng.MaxQueries = 4
+	for i := 0; i < 10; i++ {
+		eng.InjectQuery(0, DefaultTTL, 0, nil)
+		s.Run()
+	}
+	if len(eng.Queries()) != 4 {
+		t.Fatalf("retained %d queries, want cap 4", len(eng.Queries()))
+	}
+	// The survivors must be the newest GUIDs, 6..9.
+	for guid := range eng.Queries() {
+		if guid < 6 {
+			t.Fatalf("stale query %d survived eviction", guid)
+		}
+	}
+
+	// Unset cap falls back to the default bound.
+	eng2 := NewEngine(sim.NewEngine(), net, core.BlindFlooding{Net: net})
+	if eng2.maxQueries() != DefaultMaxQueries {
+		t.Fatalf("default cap = %d, want %d", eng2.maxQueries(), DefaultMaxQueries)
+	}
+	eng2.MaxQueries = -1
+	if eng2.maxQueries() != 0 {
+		t.Fatal("negative MaxQueries should disable the cap")
+	}
+}
+
 func TestPingRoundRefreshesHostCache(t *testing.T) {
 	net := lineNet(t, []int{0, 1, 2, 3})
 	net.Connect(0, 1)

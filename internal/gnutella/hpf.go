@@ -1,7 +1,6 @@
 package gnutella
 
 import (
-	"container/heap"
 	"math"
 	"slices"
 
@@ -29,14 +28,14 @@ const (
 // the selection strategy. It is the §2 "forwarding-based" approach whose
 // gains the paper argues are limited by topology mismatch: every
 // forwarded copy still pays the physical delay of its logical link.
+//
+// The engine rides the pooled flood kernel for its event queue and
+// arrival bookkeeping but keeps its own float-millisecond clock and
+// traffic accounting (HPF timestamps sends before quantizing to the
+// virtual clock, so its arithmetic must not change).
 func HybridPeriodicalFlood(net *overlay.Network, rng *sim.RNG, src overlay.PeerID, ttl, fanout, period int, sel HPFSelect, responders map[overlay.PeerID]bool) QueryResult {
-	res := QueryResult{
-		Arrival:       map[overlay.PeerID]float64{src: 0},
-		FirstResponse: math.Inf(1),
-	}
 	if !net.Alive(src) {
-		res.Arrival = nil
-		return res
+		return QueryResult{FirstResponse: math.Inf(1)}
 	}
 	if fanout < 1 {
 		fanout = 1
@@ -44,40 +43,25 @@ func HybridPeriodicalFlood(net *overlay.Network, rng *sim.RNG, src overlay.PeerI
 	if period < 1 {
 		period = 1
 	}
-	res.Scope = 1
-	if responders[src] {
-		res.FirstResponse = 0
+	k := AcquireKernel()
+	defer ReleaseKernel(k)
+	k.Begin(net, nil, false)
+	k.MarkResponders(responders)
+	k.Arrive(src, -1, 0)
+	first := math.Inf(1)
+	if k.IsResponder(src) {
+		first = 0
 	}
 
-	back := map[overlay.PeerID]overlay.PeerID{}
-	returnTime := func(p overlay.PeerID) float64 {
-		total := 0.0
-		for p != src {
-			prev, ok := back[p]
-			if !ok {
-				return math.Inf(1)
-			}
-			total += net.Cost(p, prev)
-			p = prev
-		}
-		return total
-	}
-
-	var q inflightHeap
-	var seq uint64
-	send := func(at float64, from, to overlay.PeerID, hop int) {
-		c := net.Cost(from, to)
-		res.TrafficCost += c
-		res.Transmissions++
-		heap.Push(&q, inflight{at: delayDur(at + c), seq: seq, to: to, from: from, ttl: hop})
-		seq++
-	}
+	traffic := 0.0
+	transmissions, duplicates := 0, 0
+	var targets []overlay.PeerID
 	forward := func(at float64, p, from overlay.PeerID, hop int) {
 		if hop >= ttl {
 			return
 		}
 		nbrs := net.NeighborsView(p)
-		targets := make([]overlay.PeerID, 0, len(nbrs))
+		targets = targets[:0]
 		for _, n := range nbrs {
 			if n != from {
 				targets = append(targets, n)
@@ -103,27 +87,38 @@ func HybridPeriodicalFlood(net *overlay.Network, rng *sim.RNG, src overlay.PeerI
 			targets = targets[:fanout]
 		}
 		for _, n := range targets {
-			send(at, p, n, hop+1)
+			c := net.Cost(p, n)
+			traffic += c
+			transmissions++
+			k.Push(delayDur(at+c), p, n, hop+1)
 		}
 	}
 
 	forward(0, src, -1, 0)
-	for len(q) > 0 {
-		m := heap.Pop(&q).(inflight)
-		atMS := float64(m.at) / msPerDur
-		if _, seen := res.Arrival[m.to]; seen {
-			res.Duplicates++
+	for {
+		m, ok := k.Next()
+		if !ok {
+			break
+		}
+		atMS := float64(m.At) / msPerDur
+		if k.Arrived(m.To) {
+			duplicates++
 			continue
 		}
-		res.Arrival[m.to] = atMS
-		res.Scope++
-		back[m.to] = m.from
-		if responders[m.to] {
-			if rt := atMS + returnTime(m.to); rt < res.FirstResponse {
-				res.FirstResponse = rt
+		k.Arrive(m.To, m.From, m.At)
+		if k.IsResponder(m.To) {
+			if rt := atMS + k.ReturnTime(m.To); rt < first {
+				first = rt
 			}
 		}
-		forward(atMS, m.to, m.from, m.ttl)
+		forward(atMS, m.To, m.From, m.TTL)
 	}
-	return res
+	return QueryResult{
+		Scope:         k.Scope(),
+		TrafficCost:   traffic,
+		Transmissions: transmissions,
+		Duplicates:    duplicates,
+		FirstResponse: first,
+		Arrival:       k.ArrivalMap(),
+	}
 }

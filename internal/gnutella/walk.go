@@ -1,8 +1,8 @@
 package gnutella
 
 import (
-	"container/heap"
 	"math"
+	"time"
 
 	"ace/internal/core"
 	"ace/internal/overlay"
@@ -41,20 +41,30 @@ func RandomWalk(net *overlay.Network, rng *sim.RNG, src overlay.PeerID, walkers,
 	}
 	// A heap keeps walker events in global time order so Arrival and
 	// FirstResponse stay consistent with the flood evaluators.
-	var q inflightHeap
+	type walkEvent struct {
+		at  time.Duration
+		seq uint64
+		idx int32
+	}
+	q := sim.NewPQ(func(a, b walkEvent) bool {
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		return a.seq < b.seq
+	})
 	var seq uint64
 	walkersState := make([]walker, 0, walkers)
 	push := func(idx int, at float64) {
-		heap.Push(&q, inflight{at: delayDur(at), seq: seq, to: overlay.PeerID(idx)})
+		q.Push(walkEvent{at: delayDur(at), seq: seq, idx: int32(idx)})
 		seq++
 	}
 	for i := 0; i < walkers; i++ {
 		walkersState = append(walkersState, walker{pos: src, prev: -1})
 		push(i, 0)
 	}
-	for len(q) > 0 {
-		ev := heap.Pop(&q).(inflight)
-		w := &walkersState[int(ev.to)]
+	for q.Len() > 0 {
+		ev := q.Pop()
+		w := &walkersState[int(ev.idx)]
 		if w.hops >= maxHops {
 			continue
 		}
@@ -91,7 +101,7 @@ func RandomWalk(net *overlay.Network, rng *sim.RNG, src overlay.PeerID, walkers,
 			}
 			continue // this walker terminates
 		}
-		push(int(ev.to), w.at)
+		push(int(ev.idx), w.at)
 	}
 	return res
 }

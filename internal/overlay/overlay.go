@@ -162,6 +162,20 @@ func (n *Network) CostsFrom(p PeerID) CostView {
 	return CostView{vec: n.oracle.Vector(n.attach[p]), attach: n.attach}
 }
 
+// CostsFromCached returns a cost view rooted at p only when p's distance
+// vector is already cached, never triggering a Dijkstra. When ok, the
+// view resolves costs exactly as Cost(p, q) would (the oracle prefers the
+// source's vector whenever it exists), so callers can batch per-source
+// lookups without changing any returned value — and fall back to Cost
+// when it is not.
+func (n *Network) CostsFromCached(p PeerID) (CostView, bool) {
+	vec, ok := n.oracle.VectorCached(n.attach[p])
+	if !ok {
+		return CostView{}, false
+	}
+	return CostView{vec: vec, attach: n.attach}, true
+}
+
 // CostView is a cost function from a fixed source peer. It holds a
 // read-only reference into the oracle's vector cache and stays valid for
 // the life of the network.

@@ -30,6 +30,12 @@ type Oracle struct {
 	cache map[int][]float32
 	order []int // insertion order for FIFO eviction
 
+	// flat mirrors cache as lock-free per-source slots when the cache is
+	// unbounded (no eviction ever invalidates an entry), so the query
+	// hot loops read a vector with one atomic load instead of taking the
+	// read lock per delay lookup.
+	flat []atomic.Pointer[[]float32]
+
 	queries   atomic.Uint64
 	dijkstras atomic.Uint64
 	evictions atomic.Uint64
@@ -46,7 +52,11 @@ type Stats struct {
 // NewOracle returns an oracle over the physical graph g. cacheCap bounds
 // the number of cached source vectors (0 means unbounded).
 func NewOracle(g *graph.Graph, cacheCap int) *Oracle {
-	return &Oracle{g: g, cap: cacheCap, cache: make(map[int][]float32)}
+	o := &Oracle{g: g, cap: cacheCap, cache: make(map[int][]float32)}
+	if cacheCap == 0 {
+		o.flat = make([]atomic.Pointer[[]float32], g.N())
+	}
+	return o
 }
 
 // N reports the number of physical nodes.
@@ -63,6 +73,18 @@ func (o *Oracle) Delay(u, v int) float64 {
 		return 0
 	}
 	o.queries.Add(1)
+	// The lock-free mirror answers with the same direction preference as
+	// the locked path (u's vector, else v's, else compute u's), so the
+	// returned values are identical bit for bit either way.
+	if o.flat != nil {
+		if p := o.flat[u].Load(); p != nil {
+			return float64((*p)[v])
+		}
+		if p := o.flat[v].Load(); p != nil {
+			return float64((*p)[u])
+		}
+		return float64(o.vector(u)[v])
+	}
 	o.mu.RLock()
 	vecU, okU := o.cache[u]
 	var vecV []float32
@@ -103,6 +125,9 @@ func (o *Oracle) vector(src int) []float32 {
 	}
 	o.cache[src] = vec
 	o.order = append(o.order, src)
+	if o.flat != nil {
+		o.flat[src].Store(&vec)
+	}
 	return vec
 }
 
@@ -150,6 +175,12 @@ func (o *Oracle) Vector(src int) []float32 {
 	if src < 0 || src >= o.g.N() {
 		panic(fmt.Sprintf("physical: vector source %d out of range [0,%d)", src, o.g.N()))
 	}
+	if o.flat != nil {
+		if p := o.flat[src].Load(); p != nil {
+			return *p
+		}
+		return o.vector(src)
+	}
 	o.mu.RLock()
 	vec, ok := o.cache[src]
 	o.mu.RUnlock()
@@ -157,6 +188,27 @@ func (o *Oracle) Vector(src int) []float32 {
 		return vec
 	}
 	return o.vector(src)
+}
+
+// VectorCached returns the distance vector for src only if it is already
+// cached, never computing one. When ok, indexing the vector at v yields
+// exactly what Delay(src, v) would return — Delay prefers the source's
+// vector whenever it exists — so hot loops can batch one lookup per
+// source without perturbing values bit for bit.
+func (o *Oracle) VectorCached(src int) ([]float32, bool) {
+	if src < 0 || src >= o.g.N() {
+		return nil, false
+	}
+	if o.flat != nil {
+		if p := o.flat[src].Load(); p != nil {
+			return *p, true
+		}
+		return nil, false
+	}
+	o.mu.RLock()
+	vec, ok := o.cache[src]
+	o.mu.RUnlock()
+	return vec, ok
 }
 
 // Path returns the physical node sequence of the shortest path u→v,

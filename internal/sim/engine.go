@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -13,36 +12,17 @@ type event struct {
 	at     time.Duration
 	seq    uint64 // tie-breaker: FIFO among events at the same instant
 	action Action
-	index  int
 	dead   bool
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventBefore orders the queue by (time, sequence) — a total order, so
+// the pop sequence is unique and swapping heap implementations cannot
+// reorder equal-time events.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Timer identifies a scheduled event so it can be cancelled.
@@ -53,12 +33,12 @@ type Timer struct{ ev *event }
 type Engine struct {
 	now    time.Duration
 	seq    uint64
-	queue  eventHeap
+	queue  PQ[*event]
 	nSteps uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{queue: NewPQ(eventBefore)} }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
@@ -68,7 +48,7 @@ func (e *Engine) Steps() uint64 { return e.nSteps }
 
 // Pending reports how many events are queued (including cancelled ones not
 // yet drained).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.Len() }
 
 // At schedules action at absolute virtual time t. Scheduling in the past
 // clamps to the current time, preserving causal order.
@@ -78,7 +58,7 @@ func (e *Engine) At(t time.Duration, action Action) Timer {
 	}
 	ev := &event{at: t, seq: e.seq, action: action}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.Push(ev)
 	return Timer{ev: ev}
 }
 
@@ -98,8 +78,8 @@ func (t Timer) Cancel() {
 // step executes the earliest pending event. It reports false when the
 // queue is empty.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+	for e.queue.Len() > 0 {
+		ev := e.queue.Pop()
 		if ev.dead {
 			continue
 		}
@@ -121,13 +101,12 @@ func (e *Engine) Run() {
 // clock to the deadline. Events scheduled beyond the deadline remain
 // queued.
 func (e *Engine) RunUntil(deadline time.Duration) {
-	for len(e.queue) > 0 {
-		// Peek: queue[0] is the heap minimum.
-		if e.queue[0].dead {
-			heap.Pop(&e.queue)
+	for e.queue.Len() > 0 {
+		if e.queue.Peek().dead {
+			e.queue.Pop()
 			continue
 		}
-		if e.queue[0].at > deadline {
+		if e.queue.Peek().at > deadline {
 			break
 		}
 		e.step()

@@ -1,0 +1,73 @@
+package sim
+
+// PQ is a non-boxing binary min-heap. Unlike container/heap it stores
+// elements directly (no interface conversion per Push/Pop), so hot event
+// loops pay neither the allocation nor the dynamic dispatch of boxing
+// every item through `any`. Ordering comes from the less function; when
+// less induces a total order the pop sequence is unique, so swapping PQ
+// for container/heap cannot reorder equal-priority events as long as
+// callers tie-break (the engines order by (time, sequence)).
+type PQ[T any] struct {
+	less  func(a, b T) bool
+	items []T
+}
+
+// NewPQ returns an empty queue ordered by less.
+func NewPQ[T any](less func(a, b T) bool) PQ[T] {
+	return PQ[T]{less: less}
+}
+
+// Len reports how many elements are queued.
+func (q *PQ[T]) Len() int { return len(q.items) }
+
+// Reset empties the queue, keeping its capacity for reuse.
+func (q *PQ[T]) Reset() { q.items = q.items[:0] }
+
+// Push adds x.
+func (q *PQ[T]) Push(x T) {
+	q.items = append(q.items, x)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i], q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the minimum element. It panics on an empty
+// queue, exactly as container/heap would.
+func (q *PQ[T]) Pop() T {
+	n := len(q.items) - 1
+	top := q.items[0]
+	q.items[0] = q.items[n]
+	var zero T
+	q.items[n] = zero // release references held by the vacated slot
+	q.items = q.items[:n]
+	q.siftDown(0)
+	return top
+}
+
+// Peek returns the minimum element without removing it.
+func (q *PQ[T]) Peek() T { return q.items[0] }
+
+func (q *PQ[T]) siftDown(i int) {
+	n := len(q.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q.less(q.items[r], q.items[l]) {
+			m = r
+		}
+		if !q.less(q.items[m], q.items[i]) {
+			return
+		}
+		q.items[i], q.items[m] = q.items[m], q.items[i]
+		i = m
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+type tsEvent struct {
+	at  int64
+	seq uint64
+}
+
+type tsHeap []tsEvent
+
+func (h tsHeap) Len() int { return len(h) }
+func (h tsHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h tsHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *tsHeap) Push(x any)   { *h = append(*h, x.(tsEvent)) }
+func (h *tsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// TestPQMatchesContainerHeap drives PQ and container/heap with the same
+// interleaved push/pop sequence (heavy timestamp collisions, tie-broken
+// by sequence) and requires identical pop orders — the property the
+// query kernels rely on when swapping heap implementations.
+func TestPQMatchesContainerHeap(t *testing.T) {
+	rng := NewRNG(42)
+	pq := NewPQ(func(a, b tsEvent) bool {
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		return a.seq < b.seq
+	})
+	var ref tsHeap
+	var seq uint64
+	for step := 0; step < 20000; step++ {
+		if pq.Len() == 0 || rng.Intn(3) != 0 {
+			ev := tsEvent{at: int64(rng.Intn(50)), seq: seq}
+			seq++
+			pq.Push(ev)
+			heap.Push(&ref, ev)
+		} else {
+			got := pq.Pop()
+			want := heap.Pop(&ref).(tsEvent)
+			if got != want {
+				t.Fatalf("step %d: popped %+v, want %+v", step, got, want)
+			}
+		}
+	}
+	for pq.Len() > 0 {
+		got := pq.Pop()
+		want := heap.Pop(&ref).(tsEvent)
+		if got != want {
+			t.Fatalf("drain: popped %+v, want %+v", got, want)
+		}
+	}
+	if ref.Len() != 0 {
+		t.Fatalf("reference heap still holds %d items", ref.Len())
+	}
+}
+
+func TestPQResetKeepsCapacity(t *testing.T) {
+	pq := NewPQ(func(a, b int) bool { return a < b })
+	for i := 10; i > 0; i-- {
+		pq.Push(i)
+	}
+	pq.Reset()
+	if pq.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", pq.Len())
+	}
+	pq.Push(3)
+	pq.Push(1)
+	if got := pq.Pop(); got != 1 {
+		t.Fatalf("Pop = %d, want 1", got)
+	}
+	if got := pq.Peek(); got != 3 {
+		t.Fatalf("Peek = %d, want 3", got)
+	}
+}

@@ -1,27 +1,35 @@
 #!/usr/bin/env bash
-# Runs the incremental-round-engine benchmarks and emits BENCH_round.json:
-# one record per benchmark with ns/op, allocs, and the engine's custom
-# metrics (peers-rebuilt/op, full-rebuilds/op, per-phase round nanos).
+# Runs the engine benchmarks and emits a JSON record per benchmark with
+# ns/op, allocs, and custom metrics (peers-rebuilt/op, full-rebuilds/op,
+# per-phase round nanos).
+#
+# Two modes: the default round mode covers the incremental round engine
+# (BENCH_round.json); -queries covers the per-query flood kernel
+# (BenchmarkEvaluate -> BENCH_query.json).
 #
 # Usage: scripts/bench.sh [options] [output.json]
-#   -cpuprofile FILE   capture a CPU profile of the core-engine benchmarks
+#   -queries           benchmark the query-flood kernel instead of the
+#                      round engine; output defaults to BENCH_query.json
+#   -cpuprofile FILE   capture a CPU profile of the benchmark run
 #   -memprofile FILE   capture an allocation profile of the same run
 #   -compare [BASE]    do not write output: run fresh and print a ns/op
 #                      comparison against BASE (default: the committed
-#                      BENCH_round.json)
+#                      JSON for the selected mode)
 #
 #   BENCHTIME=2s scripts/bench.sh       # longer runs for stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_round.json"
+MODE="round"
+OUT=""
 BENCHTIME="${BENCHTIME:-1s}"
 PROFILE_FLAGS=()
 COMPARE=""
-BASE="BENCH_round.json"
+BASE=""
 
 while [ $# -gt 0 ]; do
     case "$1" in
+        -queries) MODE="queries"; shift ;;
         -cpuprofile) PROFILE_FLAGS+=(-cpuprofile "$2"); shift 2 ;;
         -memprofile) PROFILE_FLAGS+=(-memprofile "$2"); shift 2 ;;
         -compare)
@@ -36,17 +44,28 @@ while [ $# -gt 0 ]; do
     esac
 done
 
+DEFAULT="BENCH_round.json"
+[ "$MODE" = "queries" ] && DEFAULT="BENCH_query.json"
+[ -n "$OUT" ] || OUT="$DEFAULT"
+[ -n "$BASE" ] || BASE="$DEFAULT"
+
 TMP="$(mktemp)"
 TMPJSON="$(mktemp)"
 trap 'rm -f "$TMP" "$TMPJSON"' EXIT
 
-# Profiles only make sense on one package; attach them to the core-engine
-# run, which is what the perf work targets.
-go test -run '^$' -bench 'BenchmarkRebuildTrees|BenchmarkRoundChurn' \
-    -benchmem -benchtime "$BENCHTIME" \
-    ${PROFILE_FLAGS[@]+"${PROFILE_FLAGS[@]}"} ./internal/core/ | tee "$TMP"
-go test -run '^$' -bench 'BenchmarkDelayWarm' \
-    -benchmem -benchtime "$BENCHTIME" ./internal/physical/ | tee -a "$TMP"
+if [ "$MODE" = "queries" ]; then
+    go test -run '^$' -bench 'BenchmarkEvaluate' \
+        -benchmem -benchtime "$BENCHTIME" \
+        ${PROFILE_FLAGS[@]+"${PROFILE_FLAGS[@]}"} ./internal/gnutella/ | tee "$TMP"
+else
+    # Profiles only make sense on one package; attach them to the
+    # core-engine run, which is what the perf work targets.
+    go test -run '^$' -bench 'BenchmarkRebuildTrees|BenchmarkRoundChurn' \
+        -benchmem -benchtime "$BENCHTIME" \
+        ${PROFILE_FLAGS[@]+"${PROFILE_FLAGS[@]}"} ./internal/core/ | tee "$TMP"
+    go test -run '^$' -bench 'BenchmarkDelayWarm' \
+        -benchmem -benchtime "$BENCHTIME" ./internal/physical/ | tee -a "$TMP"
+fi
 
 {
     printf '{\n  "benchtime": "%s",\n  "go": "%s",\n  "benchmarks": [\n' \
