@@ -5,15 +5,25 @@
 // Usage:
 //
 //	acesim -peers 2000 -phys 5000 -c 10 -h 1 -steps 12 -policy random
+//
+// Observability:
+//
+//	-v              per-round phase timings and query means on stderr-free stdout
+//	-metrics f.jsonl  per-round and per-query records as JSON lines (obs.Stream)
+//	-debug :6060    live endpoint: net/http/pprof under /debug/pprof/ and a
+//	                registry snapshot under /debug/obs (enables instrumentation)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"ace"
 	"ace/internal/metrics"
+	"ace/internal/obs"
 	"ace/internal/overlay"
 	"ace/internal/sim"
 )
@@ -27,6 +37,9 @@ func main() {
 	steps := flag.Int("steps", 12, "ACE rounds")
 	queries := flag.Int("queries", 50, "queries sampled per step")
 	policyName := flag.String("policy", "random", "random | naive | closest")
+	verbose := flag.Bool("v", false, "print per-round phase timings and query means")
+	metricsPath := flag.String("metrics", "", "write per-round/per-query JSONL records to this file")
+	debugAddr := flag.String("debug", "", "serve pprof and the obs registry on this address (e.g. :6060)")
 	flag.Parse()
 
 	var policy ace.Policy
@@ -42,6 +55,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	var stream *obs.Stream
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acesim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		stream = obs.NewStream(f)
+	}
+	if *debugAddr != "" {
+		// The live endpoint is only useful with the registry recording.
+		obs.Enable()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/obs", obs.Handler(obs.Default()))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "acesim: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "acesim: debug endpoint on %s (/debug/pprof/, /debug/obs)\n", *debugAddr)
+	}
+
 	sys, err := ace.NewSystem(
 		ace.WithSeed(*seed),
 		ace.WithSize(*phys, *peers),
@@ -55,7 +96,7 @@ func main() {
 	}
 
 	rng := sim.NewRNG(*seed).Derive("acesim-queries")
-	sample := func(blind bool) (traffic, response, scope float64) {
+	sample := func(blind bool, label string, round int) (traffic, response, scope float64) {
 		net := sys.Network()
 		alive := net.AlivePeers()
 		var t, r, s metrics.Agg
@@ -71,19 +112,53 @@ func main() {
 			t.Add(q.TrafficCost)
 			r.Add(q.FirstResponse)
 			s.Add(float64(q.Scope))
+			if stream != nil {
+				rec := obs.QueryRecord{
+					Label: label, Round: round, Index: i,
+					Source: int(src), Scope: q.Scope, Traffic: q.TrafficCost,
+					Transmissions: q.Transmissions, Duplicates: q.Duplicates,
+				}
+				rec.SetResponseMS(q.FirstResponse)
+				stream.EmitQuery(rec)
+			}
 		}
 		return t.Mean(), r.Mean(), s.Mean()
 	}
 
-	bt, br, bs := sample(true)
+	bt, br, bs := sample(true, "blind", 0)
 	fmt.Printf("blind flooding baseline: traffic %.0f  response %.1f ms  scope %.1f\n", bt, br, bs)
 	fmt.Printf("%4s  %10s  %8s  %8s  %7s  %6s  %s\n", "step", "traffic", "Δtraffic", "response", "Δresp", "scope", "degree")
 	for k := 1; k <= *steps; k++ {
 		rep := sys.Optimize(1)
-		t, r, s := sample(false)
+		t, r, s := sample(false, fmt.Sprintf("step%d", k), k)
 		fmt.Printf("%4d  %10.0f  %7.1f%%  %8.1f  %6.1f%%  %6.1f  %.2f   (repl %d, tentative %d, repairs %d)\n",
 			k, t, 100*metrics.Reduction(bt, t), r, 100*metrics.Reduction(br, r), s,
 			sys.Network().AverageDegree(), rep.Replacements, rep.KeptNew, rep.Repairs)
+		if *verbose {
+			fmt.Printf("      round %d: rebuild %.2fms  phase3 %.2fms  repair %.2fms  probes %d  exchange %.0f\n",
+				k, float64(rep.RebuildNanos)/1e6, float64(rep.Phase3Nanos)/1e6,
+				float64(rep.RepairNanos)/1e6, rep.Probes, rep.ExchangeCost)
+		}
+		if stream != nil {
+			stream.EmitRound(obs.RoundRecord{
+				Round:        k,
+				RebuildNanos: rep.RebuildNanos, Phase3Nanos: rep.Phase3Nanos, RepairNanos: rep.RepairNanos,
+				Probes: rep.Probes, Replacements: rep.Replacements, KeptNew: rep.KeptNew,
+				DeferredCuts: rep.DeferredCuts, Abandoned: rep.Abandoned, Repairs: rep.Repairs,
+				ProbeTraffic: rep.ProbeTraffic, ExchangeCost: rep.ExchangeCost,
+				AvgDegree:    sys.Network().AverageDegree(),
+				QueryTraffic: t, QueryResponse: r, QueryScope: s,
+			})
+		}
 	}
 	fmt.Printf("total optimization overhead: %.0f (traffic-cost units)\n", sys.Optimizer().TotalOverhead())
+	if stream != nil {
+		if obs.Enabled() {
+			stream.EmitSnapshot(obs.Default().Snapshot())
+		}
+		if err := stream.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "acesim: metrics stream:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -105,11 +105,13 @@ func Evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl,
 		k.Emit(m.At, m.To, k.ForwardOf(src, m.To, m.From, m.Serving, m.Adj, m.ToPos, m.Covered, first), m.TTL-1)
 	}
 
+	k.ObserveFlood()
 	res.Scope = k.Scope()
 	res.TrafficCost = k.Traffic()
 	res.Transmissions = k.Transmissions()
 	res.Duplicates = k.Duplicates()
 	res.Arrival = k.ArrivalMap()
+	observeFlood(&res)
 
 	// The winning QueryHit travels the inverse path home, populating the
 	// index of every peer it passes (including the source).

@@ -1,0 +1,19 @@
+package cache
+
+import "ace/internal/obs"
+
+// Index-cache instrumentation (ace.cache.<name>), flushed once per flood
+// from Evaluate's per-query tallies — nothing touches the delivery loop.
+var (
+	cCacheHits = obs.NewCounter("ace.cache.hits")
+	cStaleHits = obs.NewCounter("ace.cache.stale")
+)
+
+// observeFlood folds one flood's cache activity into the registry.
+func observeFlood(res *Result) {
+	if !obs.Enabled() {
+		return
+	}
+	cCacheHits.Add(uint64(res.CacheHits))
+	cStaleHits.Add(uint64(res.StaleHits))
+}

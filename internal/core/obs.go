@@ -1,0 +1,57 @@
+package core
+
+import "ace/internal/obs"
+
+// Round-optimizer instrumentation (naming scheme: ace.core.<name>; see
+// DESIGN.md §6). The spans are the single source of truth for the
+// per-phase nanos StepReport carries — Round reads its RebuildNanos/
+// Phase3Nanos/RepairNanos from them — and everything else is a gated
+// counter or histogram that costs one branch while the registry is
+// disabled.
+var (
+	// Per-phase wall-clock spans of one Round (nanoseconds).
+	spanRebuild = obs.NewSpan("ace.core.round.rebuild")
+	spanPhase3  = obs.NewSpan("ace.core.round.phase3")
+	spanRepair  = obs.NewSpan("ace.core.round.repair")
+
+	// How rebuilds resolved: full sweeps, incremental (dirty-region)
+	// rebuilds, and incremental attempts that fell back to a full sweep
+	// because the dirty region exceeded RebuildFraction.
+	cRebuildFull        = obs.NewCounter("ace.core.rebuild.full")
+	cRebuildIncremental = obs.NewCounter("ace.core.rebuild.incremental")
+	cRebuildFallback    = obs.NewCounter("ace.core.rebuild.fallback")
+	cPeersRebuilt       = obs.NewCounter("ace.core.rebuild.peers")
+
+	// Dirty-region size per incremental rebuild (peers, log₂ buckets).
+	hDirtyRegion = obs.NewHistogram("ace.core.rebuild.dirty_region")
+
+	// Phase-3 outcome counters: probes issued, Figure-4(b) replacements
+	// accepted, Figure-4(c) tentative keeps accepted, and probes whose
+	// candidate was rejected (Figure 4(d) or a refused/failed connect).
+	cProbes       = obs.NewCounter("ace.core.phase3.probes")
+	cReplacements = obs.NewCounter("ace.core.phase3.accept_replace")
+	cKeptNew      = obs.NewCounter("ace.core.phase3.accept_keep")
+	cRejected     = obs.NewCounter("ace.core.phase3.reject")
+	cDeferredCuts = obs.NewCounter("ace.core.phase3.deferred_cuts")
+	cAbandoned    = obs.NewCounter("ace.core.phase3.abandoned")
+	cRepairs      = obs.NewCounter("ace.core.repair.connects")
+)
+
+// flushRoundObs folds one completed round's report into the registry.
+// Every probe either ended in an accepted rewire (4b replacement or 4c
+// tentative keep) or was rejected, so the reject count derives from the
+// report instead of instrumenting each Figure-4 branch.
+func flushRoundObs(report *StepReport) {
+	if !obs.Enabled() {
+		return
+	}
+	cProbes.Add(uint64(report.Probes))
+	cReplacements.Add(uint64(report.Replacements))
+	cKeptNew.Add(uint64(report.KeptNew))
+	if rej := report.Probes - report.Replacements - report.KeptNew; rej > 0 {
+		cRejected.Add(uint64(rej))
+	}
+	cDeferredCuts.Add(uint64(report.DeferredCuts))
+	cAbandoned.Add(uint64(report.Abandoned))
+	cRepairs.Add(uint64(report.Repairs))
+}

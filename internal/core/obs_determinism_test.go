@@ -1,0 +1,49 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ace/internal/obs"
+)
+
+// TestObsEnabledDoesNotPerturb pins the observability layer's core
+// contract: enabling the registry changes nothing but the registry.
+// Two identically seeded systems run the same churn workload — one with
+// instrumentation recording, one with it off — and every StepReport
+// (timing stripped) and every overlay edge must agree bit for bit.
+// Instrumentation reads simulation state; it never touches an RNG
+// stream, reorders events, or feeds a value back in.
+func TestObsEnabledDoesNotPerturb(t *testing.T) {
+	const seed = 77
+	const rounds = 60
+	cfg := DefaultConfig(1)
+
+	run := func(enabled bool) (reports []StepReport, edges any) {
+		if enabled {
+			obs.Enable()
+			defer obs.Disable()
+		} else {
+			obs.Disable()
+		}
+		s := newDiffSide(t, seed, cfg)
+		for r := 0; r < rounds; r++ {
+			s.churnStep(2)
+			reports = append(reports, stripTiming(s.opt.Round(s.round)))
+		}
+		return reports, s.net.SnapshotEdges()
+	}
+
+	offReports, offEdges := run(false)
+	onReports, onEdges := run(true)
+
+	for r := range offReports {
+		if offReports[r] != onReports[r] {
+			t.Fatalf("round %d: obs-enabled report diverged\noff: %+v\non:  %+v",
+				r, offReports[r], onReports[r])
+		}
+	}
+	if !reflect.DeepEqual(offEdges, onEdges) {
+		t.Fatal("obs-enabled run produced a different overlay")
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"slices"
 	"sync"
-	"time"
 
 	"ace/internal/overlay"
 	"ace/internal/sim"
@@ -132,6 +131,9 @@ type StepReport struct {
 
 	// Wall-clock phase breakdown of the round, for benchmarks that need
 	// to attribute cost (differential tests zero these before comparing).
+	// The values are measured by the ace.core.round.{rebuild,phase3,
+	// repair} obs spans, whose histograms accumulate the same numbers
+	// when the registry is enabled.
 	RebuildNanos int64 // Phases 1–2: state sync + exchange pricing
 	Phase3Nanos  int64 // pending cuts + the per-peer replacement policy
 	RepairNanos  int64 // MinDegree repair
@@ -185,10 +187,12 @@ func (o *Optimizer) alivePeers() []overlay.PeerID {
 // full either way: every peer re-probes and re-ships its table each
 // cycle; only the simulator-side state reconstruction is incremental.)
 func (o *Optimizer) RebuildTrees() float64 {
+	sp := spanRebuild.Start()
 	peers := o.alivePeers()
 	o.rebuild(peers)
 	cost := o.exchangeCost(peers)
 	o.totalOverhead += cost
+	sp.End()
 	return cost
 }
 
@@ -207,6 +211,7 @@ func (o *Optimizer) rebuild(peers []overlay.PeerID) {
 			o.net.CompactJournal(o.cursor)
 			return
 		}
+		cRebuildFallback.Inc() // dirty region above RebuildFraction
 	}
 	clear(o.state)
 	clear(o.contrib)
@@ -216,6 +221,7 @@ func (o *Optimizer) rebuild(peers []overlay.PeerID) {
 	o.revLive, o.revTotal = 0, 0
 	o.buildStates(peers)
 	o.stats.Full++
+	cRebuildFull.Inc()
 	o.cursor = next
 	o.synced = true
 	o.net.CompactJournal(o.cursor)
@@ -302,6 +308,8 @@ func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty map[overlay.PeerI
 	o.buildStates(list)
 	o.dirtyBuf = list[:0]
 	o.stats.Incremental++
+	cRebuildIncremental.Inc()
+	hDirtyRegion.Observe(uint64(len(dirty)))
 }
 
 // buildStates runs Phases 1–2 for the listed peers over a worker pool
@@ -360,6 +368,7 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 		o.compactRev()
 	}
 	o.stats.PeersRebuilt += len(list)
+	cPeersRebuilt.Add(uint64(len(list)))
 }
 
 // revDrop invalidates every posting p owns by bumping its generation.
@@ -436,15 +445,19 @@ func (o *Optimizer) exchangeCost(peers []overlay.PeerID) float64 {
 // The live-peer slice is computed once and threaded through the whole
 // round — rounds rewire edges but never change liveness.
 func (o *Optimizer) Round(rng *sim.RNG) StepReport {
-	t0 := time.Now()
+	// The obs spans are the single source of truth for phase timing:
+	// StepReport's nanos are each span's measured duration, and the same
+	// measurement lands in the registry histograms when observability is
+	// enabled.
+	sp := spanRebuild.Start()
 	peers := o.alivePeers()
 	o.rebuild(peers)
 	cost := o.exchangeCost(peers)
 	o.totalOverhead += cost
 	report := StepReport{ExchangeCost: cost}
-	report.RebuildNanos = int64(time.Since(t0))
+	report.RebuildNanos = sp.End()
 
-	t1 := time.Now()
+	sp = spanPhase3.Start()
 	o.executePendingCuts(&report)
 
 	for _, p := range peers {
@@ -464,12 +477,13 @@ func (o *Optimizer) Round(rng *sim.RNG) StepReport {
 			o.phase3Closest(p, st, &report)
 		}
 	}
-	report.Phase3Nanos = int64(time.Since(t1))
+	report.Phase3Nanos = sp.End()
 
-	t2 := time.Now()
+	sp = spanRepair.Start()
 	o.maintainMinDegree(rng, peers, &report)
-	report.RepairNanos = int64(time.Since(t2))
+	report.RepairNanos = sp.End()
 	o.totalOverhead += report.ProbeTraffic
+	flushRoundObs(&report)
 	return report
 }
 

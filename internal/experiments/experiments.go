@@ -16,6 +16,7 @@ import (
 	"ace/internal/core"
 	"ace/internal/gnutella"
 	"ace/internal/metrics"
+	"ace/internal/obs"
 	"ace/internal/overlay"
 	"ace/internal/physical"
 	"ace/internal/sim"
@@ -96,6 +97,13 @@ type Env struct {
 	Oracle *physical.Oracle
 	Net    *overlay.Network
 	RNG    *sim.RNG
+
+	// Stream, when non-nil, receives one obs.QueryRecord per measured
+	// query. Records are emitted in query-index order after the parallel
+	// fold, so the JSONL output is deterministic regardless of worker
+	// scheduling. Round stamps each record with the caller's round.
+	Stream *obs.Stream
+	Round  int
 }
 
 // BuildEnv generates the physical topology, attaches peers, and wires a
@@ -156,7 +164,11 @@ func (e *Env) MeasureQueries(fwd core.Forwarder, n int, label string) QuerySampl
 		return s
 	}
 	warmOracle(e.Net, alive)
-	type point struct{ traffic, response, scope float64 }
+	type point struct {
+		traffic, response float64
+		src               overlay.PeerID
+		scope, sends, dup int
+	}
 	results := make([]point, n)
 	_ = forEach(n, func(i int) error {
 		qrng := rng.DeriveN("q", i)
@@ -166,13 +178,24 @@ func (e *Env) MeasureQueries(fwd core.Forwarder, n int, label string) QuerySampl
 			responders[alive[qrng.Intn(len(alive))]] = true
 		}
 		r := gnutella.Evaluate(e.Net, fwd, src, e.Scale.TTL, responders)
-		results[i] = point{r.TrafficCost, r.FirstResponse, float64(r.Scope)}
+		results[i] = point{r.TrafficCost, r.FirstResponse, src, r.Scope, r.Transmissions, r.Duplicates}
 		return nil
 	})
 	for i := range results {
 		s.Traffic.Add(results[i].traffic)
 		s.Response.Add(results[i].response)
-		s.Scope.Add(results[i].scope)
+		s.Scope.Add(float64(results[i].scope))
+		if e.Stream != nil {
+			q := obs.QueryRecord{
+				Label: label, Round: e.Round, Index: i,
+				Source: int(results[i].src), Scope: results[i].scope,
+				Traffic:       results[i].traffic,
+				Transmissions: results[i].sends,
+				Duplicates:    results[i].dup,
+			}
+			q.SetResponseMS(results[i].response)
+			e.Stream.EmitQuery(q)
+		}
 	}
 	return s
 }

@@ -127,6 +127,7 @@ func evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl 
 		k.Emit(key.at, to, k.ForwardOf(src, to, overlay.PeerID(m.from), serving, adj, m.toPos, covered, firstCopy), int(m.ttl)-1)
 	}
 
+	k.ObserveFlood()
 	res := QueryResult{
 		Scope:         k.Scope(),
 		TrafficCost:   k.Traffic(),

@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an expvar-style HTTP handler serving the registry's
+// aggregated snapshot as one JSON document. cmd/acesim mounts it at
+// /debug/obs next to net/http/pprof.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Enabled bool       `json:"enabled"`
+			Metrics []Snapshot `json:"metrics"`
+		}{Enabled: r.Enabled(), Metrics: r.Snapshot()})
+	})
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"sync"
+)
+
+// RoundRecord is one ACE round in the event stream: the optimizer's
+// StepReport flattened, plus the query means the driver sampled after
+// the round (zero when the driver measures no queries).
+type RoundRecord struct {
+	Round        int     `json:"round"`
+	RebuildNanos int64   `json:"rebuild_ns"`
+	Phase3Nanos  int64   `json:"phase3_ns"`
+	RepairNanos  int64   `json:"repair_ns"`
+	Probes       int     `json:"probes"`
+	Replacements int     `json:"replacements"`
+	KeptNew      int     `json:"kept_new"`
+	DeferredCuts int     `json:"deferred_cuts"`
+	Abandoned    int     `json:"abandoned"`
+	Repairs      int     `json:"repairs"`
+	ProbeTraffic float64 `json:"probe_traffic"`
+	ExchangeCost float64 `json:"exchange_cost"`
+	AvgDegree    float64 `json:"avg_degree,omitempty"`
+
+	QueryTraffic  float64 `json:"query_traffic,omitempty"`
+	QueryResponse float64 `json:"query_response_ms,omitempty"`
+	QueryScope    float64 `json:"query_scope,omitempty"`
+}
+
+// QueryRecord is one evaluated query in the event stream. ResponseMS is
+// -1 when no responder was reached (JSON cannot carry +Inf; see
+// ResponseMS / SetResponseMS).
+type QueryRecord struct {
+	// Label names the measurement batch the query belongs to (the
+	// MeasureQueries label, or a driver-chosen tag).
+	Label string `json:"label,omitempty"`
+	// Round is the optimization step the query was measured after.
+	Round int `json:"round"`
+	// Index is the query's position within its batch.
+	Index         int     `json:"index"`
+	Source        int     `json:"source"`
+	Scope         int     `json:"scope"`
+	Traffic       float64 `json:"traffic"`
+	ResponseMS    float64 `json:"response_ms"`
+	Transmissions int     `json:"transmissions"`
+	Duplicates    int     `json:"duplicates"`
+	CacheHits     int     `json:"cache_hits,omitempty"`
+}
+
+// SetResponseMS stores a first-response time, mapping the evaluator's
+// +Inf ("no responder reached") to -1 so the record stays encodable.
+func (q *QueryRecord) SetResponseMS(ms float64) {
+	if math.IsInf(ms, 1) || math.IsNaN(ms) {
+		ms = -1
+	}
+	q.ResponseMS = ms
+}
+
+// Record is one decoded stream line: exactly one of the pointer fields
+// is set, per Type.
+type Record struct {
+	Type  string       `json:"type"` // "round" | "query" | "snapshot"
+	Round *RoundRecord `json:"round,omitempty"`
+	Query *QueryRecord `json:"query,omitempty"`
+	// Snapshot carries a registry dump (one line per Stream.Snapshot
+	// call), typically emitted once at the end of a run.
+	Snapshot []Snapshot `json:"snapshot,omitempty"`
+}
+
+// Stream encodes round/query records as JSON lines onto a writer. It is
+// safe for concurrent use; each record is one atomic line. Errors are
+// sticky: the first write error is kept and later emits are dropped, so
+// hot loops do not need per-record error plumbing (check Err once at the
+// end).
+type Stream struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewStream returns a stream writing JSONL to w.
+func NewStream(w io.Writer) *Stream {
+	return &Stream{enc: json.NewEncoder(w)}
+}
+
+// EmitRound writes one round record.
+func (s *Stream) EmitRound(r RoundRecord) { s.emit(Record{Type: "round", Round: &r}) }
+
+// EmitQuery writes one query record.
+func (s *Stream) EmitQuery(q QueryRecord) { s.emit(Record{Type: "query", Query: &q}) }
+
+// EmitSnapshot writes a registry snapshot record.
+func (s *Stream) EmitSnapshot(snaps []Snapshot) { s.emit(Record{Type: "snapshot", Snapshot: snaps}) }
+
+func (s *Stream) emit(rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(rec)
+}
+
+// Err returns the first write error, if any.
+func (s *Stream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Decoder reads a JSONL stream back, record by record.
+type Decoder struct {
+	dec *json.Decoder
+}
+
+// NewDecoder returns a decoder over r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{dec: json.NewDecoder(r)}
+}
+
+// Next returns the next record, or io.EOF at end of stream.
+func (d *Decoder) Next() (Record, error) {
+	var rec Record
+	err := d.dec.Decode(&rec)
+	if err != nil {
+		return Record{}, err
+	}
+	if rec.Type == "" {
+		return Record{}, errors.New("obs: stream record missing type")
+	}
+	return rec, nil
+}
+
+// ReadAll drains the stream into a slice (test and small-file helper).
+func ReadAll(r io.Reader) ([]Record, error) {
+	d := NewDecoder(r)
+	var out []Record
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestStreamRoundTrip pins the -metrics JSONL format: records written by
+// a Stream decode back bit-identically through the Decoder.
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf)
+
+	round := RoundRecord{
+		Round: 3, RebuildNanos: 1200, Phase3Nanos: 800, RepairNanos: 50,
+		Probes: 40, Replacements: 7, KeptNew: 2, DeferredCuts: 1,
+		Abandoned: 1, Repairs: 3, ProbeTraffic: 812.5, ExchangeCost: 90210.25,
+		AvgDegree: 9.875, QueryTraffic: 123456.5, QueryResponse: 88.25, QueryScope: 400,
+	}
+	query := QueryRecord{
+		Label: "step3", Round: 3, Index: 12, Source: 77, Scope: 400,
+		Traffic: 4821.75, ResponseMS: 91.5, Transmissions: 512, Duplicates: 113, CacheHits: 4,
+	}
+	s.EmitRound(round)
+	s.EmitQuery(query)
+	s.EmitSnapshot([]Snapshot{{Name: "ace.test.stream", Kind: "counter", Value: 5}})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("decoded %d records, want 3", len(recs))
+	}
+	if recs[0].Type != "round" || recs[0].Round == nil || !reflect.DeepEqual(*recs[0].Round, round) {
+		t.Fatalf("round record did not round-trip: %+v", recs[0])
+	}
+	if recs[1].Type != "query" || recs[1].Query == nil || !reflect.DeepEqual(*recs[1].Query, query) {
+		t.Fatalf("query record did not round-trip: %+v", recs[1])
+	}
+	if recs[2].Type != "snapshot" || len(recs[2].Snapshot) != 1 || recs[2].Snapshot[0].Value != 5 {
+		t.Fatalf("snapshot record did not round-trip: %+v", recs[2])
+	}
+	// One record per line, decodable independently (tail -f / grep
+	// friendliness is the point of JSONL).
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("stream wrote %d lines, want 3", len(lines))
+	}
+}
+
+// TestQueryRecordInfResponse pins the +Inf mapping: the evaluator
+// reports +Inf for unanswered queries, JSON cannot carry it, the stream
+// stores -1.
+func TestQueryRecordInfResponse(t *testing.T) {
+	var q QueryRecord
+	q.SetResponseMS(math.Inf(1))
+	if q.ResponseMS != -1 {
+		t.Fatalf("Inf mapped to %v, want -1", q.ResponseMS)
+	}
+	q.SetResponseMS(42.5)
+	if q.ResponseMS != 42.5 {
+		t.Fatalf("finite response mangled: %v", q.ResponseMS)
+	}
+
+	var buf bytes.Buffer
+	s := NewStream(&buf)
+	inf := QueryRecord{Label: "x"}
+	inf.SetResponseMS(math.Inf(1))
+	s.EmitQuery(inf)
+	if err := s.Err(); err != nil {
+		t.Fatalf("emitting an unanswered query failed: %v", err)
+	}
+}
+
+func TestDecoderRejectsTypelessRecord(t *testing.T) {
+	_, err := ReadAll(strings.NewReader("{}\n"))
+	if err == nil {
+		t.Fatal("typeless record decoded")
+	}
+}
+
+// errWriter fails after n bytes, to exercise sticky errors.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestStreamStickyError(t *testing.T) {
+	s := NewStream(&errWriter{n: 1})
+	s.EmitRound(RoundRecord{Round: 1})
+	s.EmitRound(RoundRecord{Round: 2}) // dropped, must not panic
+	if s.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+}

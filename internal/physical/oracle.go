@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"ace/internal/graph"
+	"ace/internal/obs"
 )
 
 // Oracle answers physical-delay queries between physical node indices.
@@ -36,9 +37,14 @@ type Oracle struct {
 	// read lock per delay lookup.
 	flat []atomic.Pointer[[]float32]
 
-	queries   atomic.Uint64
-	dijkstras atomic.Uint64
-	evictions atomic.Uint64
+	// Activity counters live in the obs registry (ace.physical.*) as
+	// always-on per-instance counters: an unconditional atomic add costs
+	// exactly what the former bespoke atomics did, Stats() keeps its seed
+	// semantics with observability off, and Snapshot aggregates across
+	// oracle instances under the shared names.
+	queries   *obs.Counter
+	dijkstras *obs.Counter
+	evictions *obs.Counter
 }
 
 // Stats is a snapshot of oracle activity counters, for overhead reporting
@@ -49,10 +55,24 @@ type Stats struct {
 	Evictions uint64
 }
 
+// HitRatio reports the fraction of delay queries answered from a cached
+// vector (1 − Dijkstras/Queries), or 0 before any query.
+func (s Stats) HitRatio() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return 1 - float64(s.Dijkstras)/float64(s.Queries)
+}
+
 // NewOracle returns an oracle over the physical graph g. cacheCap bounds
 // the number of cached source vectors (0 means unbounded).
 func NewOracle(g *graph.Graph, cacheCap int) *Oracle {
-	o := &Oracle{g: g, cap: cacheCap, cache: make(map[int][]float32)}
+	o := &Oracle{
+		g: g, cap: cacheCap, cache: make(map[int][]float32),
+		queries:   obs.NewAlwaysCounter("ace.physical.queries"),
+		dijkstras: obs.NewAlwaysCounter("ace.physical.dijkstras"),
+		evictions: obs.NewAlwaysCounter("ace.physical.evictions"),
+	}
 	if cacheCap == 0 {
 		o.flat = make([]atomic.Pointer[[]float32], g.N())
 	}
@@ -72,7 +92,7 @@ func (o *Oracle) Delay(u, v int) float64 {
 	if u == v {
 		return 0
 	}
-	o.queries.Add(1)
+	o.queries.Inc()
 	// The lock-free mirror answers with the same direction preference as
 	// the locked path (u's vector, else v's, else compute u's), so the
 	// returned values are identical bit for bit either way.
@@ -116,12 +136,12 @@ func (o *Oracle) vector(src int) []float32 {
 	if existing, ok := o.cache[src]; ok {
 		return existing // another goroutine raced us; keep theirs
 	}
-	o.dijkstras.Add(1)
+	o.dijkstras.Inc()
 	if o.cap > 0 && len(o.cache) >= o.cap {
 		victim := o.order[0]
 		o.order = o.order[1:]
 		delete(o.cache, victim)
-		o.evictions.Add(1)
+		o.evictions.Inc()
 	}
 	o.cache[src] = vec
 	o.order = append(o.order, src)
@@ -221,9 +241,9 @@ func (o *Oracle) Path(u, v int) []int {
 // Stats returns a snapshot of activity counters.
 func (o *Oracle) Stats() Stats {
 	return Stats{
-		Queries:   o.queries.Load(),
-		Dijkstras: o.dijkstras.Load(),
-		Evictions: o.evictions.Load(),
+		Queries:   o.queries.Value(),
+		Dijkstras: o.dijkstras.Value(),
+		Evictions: o.evictions.Value(),
 	}
 }
 

@@ -43,6 +43,14 @@ func TestDelayUsesReverseCache(t *testing.T) {
 	if st.Queries != 2 {
 		t.Fatalf("Queries = %d, want 2", st.Queries)
 	}
+	// 2 queries, 1 Dijkstra: half the lookups were answered from cache.
+	if hr := st.HitRatio(); hr != 0.5 {
+		t.Fatalf("HitRatio = %v, want 0.5", hr)
+	}
+	var zero Stats
+	if zero.HitRatio() != 0 {
+		t.Fatalf("HitRatio before any query = %v, want 0", zero.HitRatio())
+	}
 }
 
 func TestDelayDisconnected(t *testing.T) {

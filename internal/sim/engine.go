@@ -59,6 +59,7 @@ func (e *Engine) At(t time.Duration, action Action) Timer {
 	ev := &event{at: t, seq: e.seq, action: action}
 	e.seq++
 	e.queue.Push(ev)
+	cScheduled.Inc()
 	return Timer{ev: ev}
 }
 
@@ -70,8 +71,9 @@ func (e *Engine) After(delay time.Duration, action Action) Timer {
 // Cancel prevents a scheduled event from running. Cancelling an already
 // executed or already cancelled timer is a no-op.
 func (t Timer) Cancel() {
-	if t.ev != nil {
+	if t.ev != nil && !t.ev.dead {
 		t.ev.dead = true
+		cCancelled.Inc()
 	}
 }
 
@@ -85,6 +87,7 @@ func (e *Engine) step() bool {
 		}
 		e.now = ev.at
 		e.nSteps++
+		cEvents.Inc()
 		ev.action()
 		return true
 	}

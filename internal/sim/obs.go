@@ -1,0 +1,12 @@
+package sim
+
+import "ace/internal/obs"
+
+// Event-loop instrumentation (ace.sim.<name>). Both counters sit on the
+// scheduler's two entry points and cost a single predicted branch each
+// while the registry is disabled.
+var (
+	cEvents    = obs.NewCounter("ace.sim.events")
+	cScheduled = obs.NewCounter("ace.sim.scheduled")
+	cCancelled = obs.NewCounter("ace.sim.cancelled")
+)
