@@ -9,9 +9,19 @@
 // Observability:
 //
 //	-v              per-round phase timings and query means on stderr-free stdout
-//	-metrics f.jsonl  per-round and per-query records as JSON lines (obs.Stream)
+//	-metrics f.jsonl  per-round and per-query records as JSON lines (obs.Stream);
+//	                implies instrumentation so the final snapshot carries counters
 //	-debug :6060    live endpoint: net/http/pprof under /debug/pprof/ and a
 //	                registry snapshot under /debug/obs (enables instrumentation)
+//
+// Fault injection (deterministic, seed-derived):
+//
+//	-faults plan.json  load a full fault plan (loss, jitter, timeouts, …);
+//	                   a zero plan seed inherits -seed
+//	-loss 0.05      shorthand: 5% message loss, probe timeout, connect failure
+//	-crash 0.25     25% of churned-out peers crash (half-open edges) instead
+//	                of leaving gracefully
+//	-churnpeers 6   churn 6 peers (departure + replacement join) per step
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"os"
 
 	"ace"
+	"ace/internal/fault"
 	"ace/internal/metrics"
 	"ace/internal/obs"
 	"ace/internal/overlay"
@@ -40,6 +51,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-round phase timings and query means")
 	metricsPath := flag.String("metrics", "", "write per-round/per-query JSONL records to this file")
 	debugAddr := flag.String("debug", "", "serve pprof and the obs registry on this address (e.g. :6060)")
+	faultsPath := flag.String("faults", "", "load a fault plan (JSON) and inject it into the run")
+	loss := flag.Float64("loss", 0, "shorthand fault plan: message loss = probe timeout = connect failure rate")
+	crash := flag.Float64("crash", 0, "fraction of churned-out peers that crash instead of leaving [0,1]")
+	churnPeers := flag.Int("churnpeers", 0, "churn this many peers (leave/crash + rejoin) before each step")
 	flag.Parse()
 
 	var policy ace.Policy
@@ -55,6 +70,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Assemble the fault plan: an explicit -faults file wins, the -loss
+	// shorthand fills the three rate knobs uniformly, and -crash rides
+	// along in either case so plan files can carry the full scenario.
+	var plan fault.Plan
+	if *faultsPath != "" {
+		p, err := fault.LoadPlan(*faultsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acesim:", err)
+			os.Exit(1)
+		}
+		plan = p
+	} else if *loss > 0 {
+		plan = fault.Plan{LossRate: *loss, ProbeTimeoutRate: *loss, ConnectFailRate: *loss}
+	}
+	if plan.Seed == 0 {
+		plan.Seed = *seed
+	}
+	if *crash != 0 && plan.CrashFraction == 0 {
+		plan.CrashFraction = *crash
+	}
+	crashFrac := plan.CrashFraction
+	if crashFrac < 0 || crashFrac > 1 {
+		fmt.Fprintln(os.Stderr, "acesim: -crash outside [0,1]")
+		os.Exit(2)
+	}
+
 	var stream *obs.Stream
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
@@ -64,6 +105,9 @@ func main() {
 		}
 		defer f.Close()
 		stream = obs.NewStream(f)
+		// The JSONL stream should surface the gated ace.* counters
+		// (including the fault reactions) in its final snapshot.
+		obs.Enable()
 	}
 	if *debugAddr != "" {
 		// The live endpoint is only useful with the registry recording.
@@ -93,6 +137,46 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "acesim:", err)
 		os.Exit(1)
+	}
+	var inj *fault.Injector
+	if plan.Active() {
+		if inj, err = fault.NewInjector(plan); err != nil {
+			fmt.Fprintln(os.Stderr, "acesim:", err)
+			os.Exit(1)
+		}
+		sys.Network().SetFaults(inj)
+	}
+
+	// churnStep removes n random live peers — each crashing with the
+	// plan's crash fraction, leaving gracefully otherwise — and rejoins a
+	// random dead slot per departure, keeping the population constant.
+	churnRNG := sim.NewRNG(*seed).Derive("acesim-churn")
+	churnStep := func(n int) (left, crashed int) {
+		net := sys.Network()
+		for i := 0; i < n && net.NumAlive() > 2; i++ {
+			alive := net.AlivePeers()
+			p := alive[churnRNG.Intn(len(alive))]
+			if crashFrac > 0 && churnRNG.Float64() < crashFrac {
+				net.Crash(p)
+				crashed++
+			} else {
+				net.Leave(p)
+			}
+			left++
+		}
+		for i := 0; i < left; i++ {
+			var dead []overlay.PeerID
+			for p := 0; p < net.N(); p++ {
+				if !net.Alive(overlay.PeerID(p)) {
+					dead = append(dead, overlay.PeerID(p))
+				}
+			}
+			if len(dead) == 0 {
+				break
+			}
+			net.Join(churnRNG, dead[churnRNG.Intn(len(dead))], *c)
+		}
+		return left, crashed
 	}
 
 	rng := sim.NewRNG(*seed).Derive("acesim-queries")
@@ -129,6 +213,12 @@ func main() {
 	fmt.Printf("blind flooding baseline: traffic %.0f  response %.1f ms  scope %.1f\n", bt, br, bs)
 	fmt.Printf("%4s  %10s  %8s  %8s  %7s  %6s  %s\n", "step", "traffic", "Δtraffic", "response", "Δresp", "scope", "degree")
 	for k := 1; k <= *steps; k++ {
+		if *churnPeers > 0 {
+			left, crashed := churnStep(*churnPeers)
+			if *verbose {
+				fmt.Printf("      churn: %d departures (%d crashes)\n", left, crashed)
+			}
+		}
 		rep := sys.Optimize(1)
 		t, r, s := sample(false, fmt.Sprintf("step%d", k), k)
 		fmt.Printf("%4d  %10.0f  %7.1f%%  %8.1f  %6.1f%%  %6.1f  %.2f   (repl %d, tentative %d, repairs %d)\n",
@@ -138,6 +228,11 @@ func main() {
 			fmt.Printf("      round %d: rebuild %.2fms  phase3 %.2fms  repair %.2fms  probes %d  exchange %.0f\n",
 				k, float64(rep.RebuildNanos)/1e6, float64(rep.Phase3Nanos)/1e6,
 				float64(rep.RepairNanos)/1e6, rep.Probes, rep.ExchangeCost)
+			if inj != nil || rep.PurgedEdges > 0 {
+				fmt.Printf("      faults: retries %d  timeouts %d  stale %d/%d  blacklist %d  dial-fail %d  purged %d\n",
+					rep.ProbeRetries, rep.ProbeTimeouts, rep.StaleMarked, rep.StaleExpired,
+					rep.BlacklistHits, rep.FailedConnects, rep.PurgedEdges)
+			}
 		}
 		if stream != nil {
 			stream.EmitRound(obs.RoundRecord{
@@ -148,10 +243,19 @@ func main() {
 				ProbeTraffic: rep.ProbeTraffic, ExchangeCost: rep.ExchangeCost,
 				AvgDegree:    sys.Network().AverageDegree(),
 				QueryTraffic: t, QueryResponse: r, QueryScope: s,
+				ProbeRetries: rep.ProbeRetries, ProbeTimeouts: rep.ProbeTimeouts,
+				StaleMarked: rep.StaleMarked, StaleExpired: rep.StaleExpired,
+				BlacklistHits: rep.BlacklistHits, FailedConnects: rep.FailedConnects,
+				PurgedEdges: rep.PurgedEdges,
 			})
 		}
 	}
 	fmt.Printf("total optimization overhead: %.0f (traffic-cost units)\n", sys.Optimizer().TotalOverhead())
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Printf("injected faults: %d messages lost, %d probe timeouts, %d connect failures\n",
+			st.MessagesLost, st.ProbeTimeouts, st.ConnectFailures)
+	}
 	if stream != nil {
 		if obs.Enabled() {
 			stream.EmitSnapshot(obs.Default().Snapshot())

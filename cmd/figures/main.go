@@ -11,7 +11,7 @@
 // Experiments: table1 table2 fig3 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 fig15 fig16 (or depth, all six from one sweep) scope
 // cache policy baselines walks robust
-// twotier churnsweep ablation realworld all.
+// twotier churnsweep faultsweep ablation realworld all.
 package main
 
 import (
@@ -259,6 +259,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(res.Table().Render())
+	}
+
+	if run("faultsweep") {
+		any = true
+		res, err := ace.FaultSweep(sc, ace.DefaultFaultSpec(8))
+		if err != nil {
+			fatal(err)
+		}
+		printFig(res.Figure())
+		tb := res.Table()
+		fmt.Println(tb.Render())
 	}
 
 	if run("realworld") {

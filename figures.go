@@ -39,6 +39,10 @@ type (
 	TwoTierResult = experiments.TwoTierResult
 	// ChurnSweepResult is the churn-intensity sensitivity sweep.
 	ChurnSweepResult = experiments.ChurnSweepResult
+	// FaultSpec parameterizes the fault-injection sweep.
+	FaultSpec = experiments.FaultSpec
+	// FaultSweepResult is the loss × crash degradation grid.
+	FaultSweepResult = experiments.FaultSweepResult
 	// AblationResult quantifies the DESIGN.md §5 reconstruction choices.
 	AblationResult = experiments.AblationResult
 )
@@ -115,6 +119,16 @@ func TwoTier(sc Scale, c, steps int) (*TwoTierResult, error) {
 // ChurnSweep measures ACE's dynamic gain across churn intensities.
 func ChurnSweep(sc Scale, c int, lifetimes []time.Duration, duration time.Duration) (*ChurnSweepResult, error) {
 	return experiments.ChurnSweep(sc, c, lifetimes, duration)
+}
+
+// DefaultFaultSpec is the loss × crash grid the robustness table reports.
+func DefaultFaultSpec(c int) FaultSpec { return experiments.DefaultFaultSpec(c) }
+
+// FaultSweep measures graceful degradation under deterministic fault
+// injection: message loss, probe timeouts, connect failures, and
+// crash-failures across the spec's grid.
+func FaultSweep(sc Scale, spec FaultSpec) (*FaultSweepResult, error) {
+	return experiments.FaultSweep(sc, spec)
 }
 
 // Ablation turns the reconstruction's load-bearing design choices off

@@ -29,6 +29,13 @@ type Model struct {
 	// JoinDegree is how many connections a churning-in peer establishes
 	// (set to the topology's average degree C to keep density stable).
 	JoinDegree int
+	// CrashFraction is the probability that a departing peer crashes —
+	// vanishing without teardown and leaving half-open edges in its
+	// neighbors' tables — instead of leaving gracefully. The paper's
+	// §4.3 environment models only graceful departures, so the default
+	// is 0; a non-zero value is a deliberate deviation used by the fault
+	// experiments to exercise dangling-edge detection and purging.
+	CrashFraction float64
 }
 
 // DefaultModel returns the paper's §4.3 parameters for a topology with
@@ -53,6 +60,9 @@ func (m Model) validate() error {
 	if m.JoinDegree < 1 {
 		return fmt.Errorf("churn: join degree %d, need >= 1", m.JoinDegree)
 	}
+	if m.CrashFraction < 0 || m.CrashFraction > 1 {
+		return fmt.Errorf("churn: crash fraction %v outside [0,1]", m.CrashFraction)
+	}
 	return nil
 }
 
@@ -74,6 +84,7 @@ type Driver struct {
 	leaveTimers map[overlay.PeerID]sim.Timer
 	joins       int
 	leaves      int
+	crashes     int
 	queries     int
 }
 
@@ -103,6 +114,9 @@ func (d *Driver) Start() {
 func (d *Driver) Counts() (joins, leaves, queries int) {
 	return d.joins, d.leaves, d.queries
 }
+
+// Crashes reports how many of the departures were crash-failures.
+func (d *Driver) Crashes() int { return d.crashes }
 
 func (d *Driver) lifetime() time.Duration {
 	return d.rng.TruncNormal(d.model.MeanLifetime, d.model.StdDevLifetime, d.model.MinLifetime)
@@ -140,7 +154,15 @@ func (d *Driver) leave(p overlay.PeerID) {
 		delete(d.queryTimers, p)
 	}
 	delete(d.leaveTimers, p)
-	d.net.Leave(p)
+	// The crash draw is gated so a zero CrashFraction consumes nothing
+	// from the RNG stream: default runs stay bit-identical to before the
+	// crash model existed.
+	if d.model.CrashFraction > 0 && d.rng.Float64() < d.model.CrashFraction {
+		d.net.Crash(p)
+		d.crashes++
+	} else {
+		d.net.Leave(p)
+	}
 	d.leaves++
 	if d.OnLeave != nil {
 		d.OnLeave(p)

@@ -2,6 +2,7 @@ package churn
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -172,5 +173,88 @@ func TestDriverDeterministic(t *testing.T) {
 	j2, l2, q2 := run()
 	if j1 != j2 || l1 != l2 || q1 != q2 {
 		t.Fatalf("nondeterministic churn: (%d,%d,%d) vs (%d,%d,%d)", j1, l1, q1, j2, l2, q2)
+	}
+}
+
+// TestCrashFractionValidation: the fraction must be a probability.
+func TestCrashFractionValidation(t *testing.T) {
+	net := testNet(t, 1, 50, 20)
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(2)
+	for _, f := range []float64{-0.1, 1.5} {
+		m := DefaultModel(4)
+		m.CrashFraction = f
+		if _, err := NewDriver(eng, net, m, rng); err == nil {
+			t.Fatalf("crash fraction %v accepted", f)
+		}
+	}
+}
+
+// TestCrashFractionZeroPreservesStream: the crash draw is gated on
+// CrashFraction > 0, so the default model consumes exactly the same RNG
+// stream as before the crash model existed — run trajectories match a
+// driver that never heard of crashing.
+func TestCrashFractionZeroPreservesStream(t *testing.T) {
+	run := func(frac float64) (joins, leaves, queries, crashes int, edges any) {
+		net := testNet(t, 13, 200, 100)
+		rng := sim.NewRNG(14)
+		if err := BuildPopulation(rng.Derive("pop"), net, 60, 4); err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine()
+		model := DefaultModel(4)
+		model.MeanLifetime = 2 * time.Minute
+		model.CrashFraction = frac
+		d, err := NewDriver(eng, net, model, rng.Derive("churn"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		eng.RunUntil(10 * time.Minute)
+		j, l, q := d.Counts()
+		return j, l, q, d.Crashes(), net.SnapshotEdges()
+	}
+	j0, l0, q0, c0, e0 := run(0)
+	if c0 != 0 {
+		t.Fatalf("zero fraction crashed %d peers", c0)
+	}
+	j1, l1, q1, _, e1 := run(0)
+	if j0 != j1 || l0 != l1 || q0 != q1 || !reflect.DeepEqual(e0, e1) {
+		t.Fatalf("default model not reproducible: (%d,%d,%d) vs (%d,%d,%d)", j0, l0, q0, j1, l1, q1)
+	}
+}
+
+// TestCrashFractionLeavesDebris: with every departure a crash, dangling
+// edges accumulate (no cleanup runs here) and the replacement flow still
+// maintains the population.
+func TestCrashFractionLeavesDebris(t *testing.T) {
+	net := testNet(t, 21, 200, 100)
+	rng := sim.NewRNG(22)
+	if err := BuildPopulation(rng.Derive("pop"), net, 60, 4); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	model := DefaultModel(4)
+	model.MeanLifetime = 2 * time.Minute
+	model.QueriesPerMinute = 0
+	model.CrashFraction = 1
+	d, err := NewDriver(eng, net, model, rng.Derive("churn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.RunUntil(5 * time.Minute)
+	_, leaves, _ := d.Counts()
+	if leaves == 0 {
+		t.Fatal("no churn happened")
+	}
+	if d.Crashes() != leaves {
+		t.Fatalf("crashes = %d, leaves = %d: fraction 1 must crash every departure", d.Crashes(), leaves)
+	}
+	if net.NumAlive() != 60 {
+		t.Fatalf("population drifted to %d", net.NumAlive())
+	}
+	if net.Dangling() == 0 {
+		t.Fatal("crash-only churn left no dangling edges")
 	}
 }

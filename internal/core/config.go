@@ -112,6 +112,36 @@ type Config struct {
 	// reference side of the differential tests and as an escape hatch.
 	NoIncremental bool
 
+	// Fault-hardening knobs. They shape how the protocol reacts to an
+	// attached fault.Injector; with no injector none of them is ever
+	// consulted, so the zero values cost nothing on clean runs.
+
+	// ProbeRetryBudget is how many times a Phase-1 probe that timed out is
+	// retried within the round. 0 disables retries: one timeout is final.
+	ProbeRetryBudget int
+	// ProbeBackoffCap bounds the retry backoff: retry k waits 2^(k−1)
+	// probe intervals (capped at 2^ProbeBackoffCap), and the round's retry
+	// window is 2^ProbeBackoffCap intervals — so at most ProbeBackoffCap
+	// retries fit no matter how large ProbeRetryBudget is. The effective
+	// retry count is min(ProbeRetryBudget, ProbeBackoffCap).
+	ProbeBackoffCap int
+	// StaleTTL is how many consecutive exchange cycles a peer's cost
+	// entries may go unrefreshed (every prober exhausted its retries)
+	// before the peer is excluded from closures: stale entries are served
+	// last-known-good through TTL−1 and the peer drops out at TTL. 0
+	// selects DefaultStaleTTL.
+	StaleTTL int
+	// BlacklistAfter is the consecutive dial-failure streak that
+	// blacklists a peer from Phase-3/bootstrap candidate selection. 0
+	// disables blacklisting.
+	BlacklistAfter int
+	// BlacklistBase is the first blacklist duration in rounds; each
+	// subsequent blacklisting of the same peer doubles it (capped at
+	// BlacklistCap) until a successful connection clears the history.
+	BlacklistBase int
+	// BlacklistCap is the blacklist-duration ceiling in rounds.
+	BlacklistCap int
+
 	// SparseKnowledge is an ABLATION switch: build Phase-2 trees over
 	// only the overlay subgraph inside the closure instead of the
 	// complete pairwise cost graph (DESIGN.md §5.1 argues the paper's
@@ -137,8 +167,18 @@ func DefaultConfig(h int) Config {
 		TableEntryCost:     4e-6,
 		ProbeCost:          0.4,
 		MinDegree:          2,
+		ProbeRetryBudget:   3,
+		ProbeBackoffCap:    4,
+		StaleTTL:           DefaultStaleTTL,
+		BlacklistAfter:     2,
+		BlacklistBase:      2,
+		BlacklistCap:       16,
 	}
 }
+
+// DefaultStaleTTL is the stale-entry TTL in exchange cycles when the
+// config leaves it zero.
+const DefaultStaleTTL = 3
 
 // AOTOConfig returns the configuration of AOTO (reference [8], the
 // GLOBECOM 2003 preliminary design of ACE): 1-neighbor closures and the
@@ -177,6 +217,10 @@ func (c Config) validate() error {
 	}
 	if c.RebuildFraction < 0 {
 		return fmt.Errorf("core: negative RebuildFraction")
+	}
+	if c.ProbeRetryBudget < 0 || c.ProbeBackoffCap < 0 || c.StaleTTL < 0 ||
+		c.BlacklistAfter < 0 || c.BlacklistBase < 0 || c.BlacklistCap < 0 {
+		return fmt.Errorf("core: negative fault-hardening knob")
 	}
 	return nil
 }

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"ace/internal/overlay"
+)
+
+// This file is the optimizer's side of the fault model: how ACE reacts
+// when the substrate the paper assumes perfect starts failing. The
+// injection itself lives in internal/fault; everything here is protocol
+// hardening driven by it:
+//
+//   - Crash debris: a crashed peer leaves half-open edges in its
+//     neighbors' adjacency. The holders detect them via their next
+//     periodic probe (which times out), pay for that probe, and purge
+//     the edge — so debris survives at most one round before the
+//     MinDegree repair path re-knits the survivors.
+//   - Phase-1 probe retry: a probe that times out is retried with
+//     exponential backoff (2^(k−1) probe intervals, capped) under the
+//     per-round ProbeRetryBudget; each retry pays probe traffic.
+//   - Staleness: when EVERY prober of a peer exhausts its retries in
+//     one cycle, that peer's table entries went unrefreshed and its
+//     staleness age grows. Entries are served last-known-good while the
+//     age is below StaleTTL (costs come from the most recent successful
+//     exchange — the physical delays themselves are stationary, so the
+//     cached values are exactly the last-known-good readings); at
+//     StaleTTL the peer is excluded from closures, so Phase-2 MSTs
+//     degrade by shrinking rather than spanning garbage. Any successful
+//     probe resets the age and readmits the peer.
+//   - Dial blacklist: Phase-3/bootstrap connection attempts can fail; a
+//     streak of BlacklistAfter consecutive failures blacklists the
+//     target for BlacklistBase rounds, doubling per re-blacklisting up
+//     to BlacklistCap, so the optimizer stops burning probes on dead
+//     candidates. One successful connection clears the history.
+//
+// Everything is sized lazily and gated on (injector attached || debris
+// present), so clean runs never touch this state — pinned bit-identical
+// by TestFaultNilInjectorDoesNotPerturb.
+
+// ensureFaultState sizes the per-peer fault arrays.
+func (o *Optimizer) ensureFaultState() {
+	if n := o.net.N(); len(o.staleFor) < n {
+		o.staleFor = make([]int32, n)
+		o.excluded = make([]bool, n)
+		o.dialFails = make([]uint8, n)
+		o.blackExp = make([]uint8, n)
+		o.blackUntil = make([]int32, n)
+	}
+}
+
+// staleTTL resolves the configured TTL (0 selects DefaultStaleTTL).
+func (o *Optimizer) staleTTL() int32 {
+	if o.cfg.StaleTTL > 0 {
+		return int32(o.cfg.StaleTTL)
+	}
+	return DefaultStaleTTL
+}
+
+// retryLimit is the effective per-probe retry count: the backoff window
+// of 2^ProbeBackoffCap probe intervals fits at most ProbeBackoffCap
+// exponentially spaced retries, so the cap saturates the budget.
+func (o *Optimizer) retryLimit() int {
+	if o.cfg.ProbeRetryBudget < o.cfg.ProbeBackoffCap {
+		return o.cfg.ProbeRetryBudget
+	}
+	return o.cfg.ProbeBackoffCap
+}
+
+// faultPhase runs before each round's rebuild: it advances the injector
+// clock, purges crash debris, and re-runs the Phase-1 probe/staleness
+// protocol. It appends every exclusion change to o.exclFlips so the
+// dirty-region resolver can invalidate closures the journal knows
+// nothing about.
+func (o *Optimizer) faultPhase(peers []overlay.PeerID, report *StepReport) {
+	o.exclFlips = o.exclFlips[:0]
+	inj := o.net.Faults()
+	if inj == nil && o.net.Dangling() == 0 {
+		return
+	}
+	o.ensureFaultState()
+	o.roundNum++
+	inj.Advance(o.roundNum)
+
+	// Crash debris: each holder's periodic probe of its dead neighbor
+	// times out (paid), after which the half-open edge is purged. The
+	// crash already journaled the disconnect, so the rebuild that
+	// follows sees exactly the post-purge adjacency.
+	if o.net.Dangling() > 0 {
+		o.dangleBuf = o.net.DanglingPairs(o.dangleBuf[:0])
+		for _, dp := range o.dangleBuf {
+			report.ProbeTraffic += o.cfg.ProbeCost * o.net.CostsFrom(dp.Holder).To(dp.Dead)
+			report.ProbeTimeouts++
+			report.PurgedEdges++
+			o.net.PurgeDangling(dp.Holder, dp.Dead)
+		}
+	}
+	if inj == nil {
+		return
+	}
+
+	// Phase-1 probe protocol, per target: each live neighbor probes the
+	// target, retrying on timeout. The first attempt is already priced
+	// into the exchange contribution; only retries pay extra. A target
+	// nobody reached this cycle ages toward StaleTTL.
+	retries := o.retryLimit()
+	ttl := o.staleTTL()
+	for _, b := range peers {
+		probers := o.net.NeighborsView(b)
+		reached := len(probers) == 0 // an isolated peer has no entries to go stale
+		for _, a := range probers {
+			if !o.net.Alive(a) {
+				continue
+			}
+			cab := -1.0
+			for k := 0; k <= retries; k++ {
+				if k > 0 {
+					if cab < 0 {
+						cab = o.net.CostsFrom(a).To(b)
+					}
+					report.ProbeRetries++
+					report.ProbeTraffic += o.cfg.ProbeCost * cab
+				}
+				if !inj.ProbeTimeout(int(a), int(b), k) {
+					reached = true
+					break
+				}
+			}
+		}
+		if reached {
+			if o.staleFor[b] != 0 {
+				o.staleFor[b] = 0
+				if o.excluded[b] {
+					o.excluded[b] = false
+					o.exclFlips = append(o.exclFlips, b)
+				}
+			}
+			continue
+		}
+		report.ProbeTimeouts++
+		o.staleFor[b]++
+		switch {
+		case o.staleFor[b] == 1:
+			report.StaleMarked++
+		case o.staleFor[b] == ttl:
+			report.StaleExpired++
+		}
+		if o.staleFor[b] >= ttl && !o.excluded[b] {
+			o.excluded[b] = true
+			o.exclFlips = append(o.exclFlips, b)
+		}
+	}
+}
+
+// blacklisted reports whether h currently sits on the dial blacklist.
+func (o *Optimizer) blacklisted(h overlay.PeerID) bool {
+	return len(o.blackUntil) != 0 && o.roundNum < int(o.blackUntil[h])
+}
+
+// tryConnect is net.Connect with fault injection: the dial can fail
+// (feeding the blacklist streak), and a success clears the target's
+// failure history. With no injector it is a plain Connect.
+func (o *Optimizer) tryConnect(a, h overlay.PeerID, report *StepReport) bool {
+	inj := o.net.Faults()
+	if inj == nil {
+		return o.net.Connect(a, h)
+	}
+	if inj.ConnectFails(int(a), int(h)) {
+		report.FailedConnects++
+		o.noteDialFailure(h)
+		return false
+	}
+	if !o.net.Connect(a, h) {
+		return false
+	}
+	o.dialFails[h] = 0
+	o.blackExp[h] = 0
+	return true
+}
+
+// noteDialFailure advances h's failure streak and blacklists it when
+// the streak reaches BlacklistAfter: the first blacklist lasts
+// BlacklistBase rounds and each subsequent one doubles, capped at
+// BlacklistCap, until a successful dial clears the exponent.
+func (o *Optimizer) noteDialFailure(h overlay.PeerID) {
+	if o.cfg.BlacklistAfter <= 0 {
+		return
+	}
+	o.dialFails[h]++
+	if int(o.dialFails[h]) < o.cfg.BlacklistAfter {
+		return
+	}
+	o.dialFails[h] = 0
+	dur := o.cfg.BlacklistBase << o.blackExp[h]
+	if o.cfg.BlacklistCap > 0 && dur > o.cfg.BlacklistCap {
+		dur = o.cfg.BlacklistCap
+	} else if o.blackExp[h] < 30 {
+		o.blackExp[h]++
+	}
+	o.blackUntil[h] = int32(o.roundNum + dur)
+}

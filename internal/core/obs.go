@@ -35,6 +35,18 @@ var (
 	cDeferredCuts = obs.NewCounter("ace.core.phase3.deferred_cuts")
 	cAbandoned    = obs.NewCounter("ace.core.phase3.abandoned")
 	cRepairs      = obs.NewCounter("ace.core.repair.connects")
+
+	// Fault-reaction counters (ace.fault.*): how the protocol responded
+	// to injected faults and crash debris. The injection-side tallies
+	// (ace.fault.injected.*) are always-on counters owned by the
+	// injector itself; these gated ones count the protocol's reactions.
+	cFaultRetries       = obs.NewCounter("ace.fault.probe.retries")
+	cFaultProbeTimeouts = obs.NewCounter("ace.fault.probe.timeouts")
+	cFaultStaleMarked   = obs.NewCounter("ace.fault.stale.marked")
+	cFaultStaleExpired  = obs.NewCounter("ace.fault.stale.expired")
+	cFaultBlacklistHits = obs.NewCounter("ace.fault.blacklist.hits")
+	cFaultFailedDials   = obs.NewCounter("ace.fault.connect.failures")
+	cFaultPurged        = obs.NewCounter("ace.fault.crash.purged_edges")
 )
 
 // flushRoundObs folds one completed round's report into the registry.
@@ -54,4 +66,11 @@ func flushRoundObs(report *StepReport) {
 	cDeferredCuts.Add(uint64(report.DeferredCuts))
 	cAbandoned.Add(uint64(report.Abandoned))
 	cRepairs.Add(uint64(report.Repairs))
+	cFaultRetries.Add(uint64(report.ProbeRetries))
+	cFaultProbeTimeouts.Add(uint64(report.ProbeTimeouts))
+	cFaultStaleMarked.Add(uint64(report.StaleMarked))
+	cFaultStaleExpired.Add(uint64(report.StaleExpired))
+	cFaultBlacklistHits.Add(uint64(report.BlacklistHits))
+	cFaultFailedDials.Add(uint64(report.FailedConnects))
+	cFaultPurged.Add(uint64(report.PurgedEdges))
 }

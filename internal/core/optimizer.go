@@ -72,6 +72,18 @@ type Optimizer struct {
 	// scratch holds one buildState arena per rebuild worker.
 	scratch []*buildScratch
 
+	// Fault-hardening state (see fault.go); all of it stays nil/zero —
+	// and costs nothing — until a fault.Injector is attached to the
+	// network or a crash leaves dangling edges behind.
+	roundNum   int              // protocol rounds seen, drives injector windows
+	staleFor   []int32          // consecutive cycles a peer went unprobed
+	excluded   []bool           // peers past StaleTTL, dropped from closures
+	exclFlips  []overlay.PeerID // exclusion changes this round, for dirtyRegion
+	dangleBuf  []overlay.DanglingPair
+	dialFails  []uint8 // consecutive dial failures per peer
+	blackExp   []uint8 // blacklist-duration exponent per peer
+	blackUntil []int32 // round until which a peer is blacklisted
+
 	totalOverhead float64 // accumulated probe + exchange traffic cost
 }
 
@@ -128,6 +140,16 @@ type StepReport struct {
 	Repairs      int     // bootstrap connections opened to hold MinDegree
 	ProbeTraffic float64 // traffic cost of this round's probes
 	ExchangeCost float64 // traffic cost of this round's cost-table exchange
+
+	// Fault-reaction counters; all zero when no fault plan is attached
+	// and no crash debris exists.
+	ProbeRetries   int // Phase-1 probe retries after a timeout
+	ProbeTimeouts  int // probes (Phase 1 and 3) that got no answer
+	StaleMarked    int // peers whose cost entries newly went stale
+	StaleExpired   int // peers that crossed StaleTTL and were excluded
+	BlacklistHits  int // candidate picks refused by the dial blacklist
+	FailedConnects int // dials the fault plan failed
+	PurgedEdges    int // dangling half-open edges detected and purged
 
 	// Wall-clock phase breakdown of the round, for benchmarks that need
 	// to attribute cost (differential tests zero these before comparing).
@@ -189,8 +211,10 @@ func (o *Optimizer) alivePeers() []overlay.PeerID {
 func (o *Optimizer) RebuildTrees() float64 {
 	sp := spanRebuild.Start()
 	peers := o.alivePeers()
+	var report StepReport
+	o.faultPhase(peers, &report)
 	o.rebuild(peers)
-	cost := o.exchangeCost(peers)
+	cost := o.exchangeCost(peers) + report.ProbeTraffic
 	o.totalOverhead += cost
 	sp.End()
 	return cost
@@ -201,7 +225,7 @@ func (o *Optimizer) RebuildTrees() float64 {
 func (o *Optimizer) rebuild(peers []overlay.PeerID) {
 	events, next, ok := o.net.EventsSince(o.cursor)
 	if o.synced && ok && !o.cfg.NoIncremental {
-		if len(events) == 0 {
+		if len(events) == 0 && len(o.exclFlips) == 0 {
 			o.cursor = next
 			return
 		}
@@ -242,6 +266,11 @@ func (o *Optimizer) rebuild(peers []overlay.PeerID) {
 // rewiring spreads endpoints across the overlay. It returns nil when
 // the region exceeds the RebuildFraction threshold and a full rebuild
 // is the better deal.
+//
+// Staleness exclusions (o.exclFlips) dirty closures the journal knows
+// nothing about: an excluded peer vanishes from — or a readmitted one
+// reappears in — every closure that held it at ANY depth, so flips mark
+// all live postings, not just interior ones.
 func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) map[overlay.PeerID]bool {
 	frac := o.cfg.RebuildFraction
 	if frac == 0 {
@@ -284,6 +313,20 @@ func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) map[overlay.
 			return nil
 		}
 	}
+	for _, f := range o.exclFlips {
+		dirty[f] = true
+		if int(f) >= len(o.rev) {
+			continue
+		}
+		for _, ent := range o.rev[f] {
+			if ent.gen == o.revGen[ent.p] {
+				dirty[ent.p] = true
+			}
+		}
+		if len(dirty) > limit {
+			return nil
+		}
+	}
 	return dirty
 }
 
@@ -291,7 +334,7 @@ func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) map[overlay.
 // region, leaving every other cached PeerState untouched.
 func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty map[overlay.PeerID]bool, peers []overlay.PeerID) {
 	for _, ev := range events {
-		if ev.Kind == overlay.EventLeave {
+		if ev.Kind == overlay.EventLeave || ev.Kind == overlay.EventCrash {
 			if old := o.state[ev.P]; old != nil {
 				o.revDrop(ev.P, old)
 			}
@@ -331,7 +374,7 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 	if workers <= 1 {
 		sc := o.scratch[0]
 		for i, p := range list {
-			states[i] = buildState(sc, o.net, p, o.cfg.Depth, o.cfg.SparseKnowledge)
+			states[i] = buildState(sc, o.net, p, o.cfg.Depth, o.cfg.SparseKnowledge, o.excluded)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -341,7 +384,7 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 			go func(sc *buildScratch) {
 				defer wg.Done()
 				for i := range work {
-					states[i] = buildState(sc, o.net, list[i], o.cfg.Depth, o.cfg.SparseKnowledge)
+					states[i] = buildState(sc, o.net, list[i], o.cfg.Depth, o.cfg.SparseKnowledge, o.excluded)
 				}
 			}(o.scratch[w])
 		}
@@ -451,10 +494,12 @@ func (o *Optimizer) Round(rng *sim.RNG) StepReport {
 	// enabled.
 	sp := spanRebuild.Start()
 	peers := o.alivePeers()
+	report := StepReport{}
+	o.faultPhase(peers, &report)
 	o.rebuild(peers)
 	cost := o.exchangeCost(peers)
 	o.totalOverhead += cost
-	report := StepReport{ExchangeCost: cost}
+	report.ExchangeCost = cost
 	report.RebuildNanos = sp.End()
 
 	sp = spanPhase3.Start()
@@ -501,7 +546,11 @@ func (o *Optimizer) maintainMinDegree(rng *sim.RNG, alive []overlay.PeerID, repo
 				if o.atCap(q) {
 					continue // a saturated partner refuses the bootstrap dial
 				}
-				if o.net.Connect(p, q) {
+				if o.blacklisted(q) {
+					report.BlacklistHits++
+					continue
+				}
+				if o.tryConnect(p, q, report) {
 					report.Repairs++
 				}
 			}
@@ -594,20 +643,29 @@ func (o *Optimizer) atCap(p overlay.PeerID) bool {
 	return o.cfg.MaxDegree > 0 && o.net.Degree(p) >= o.cfg.MaxDegree
 }
 
-// probe prices one Phase-3 delay measurement from av's source to h and
-// returns its cost.
-func (o *Optimizer) probe(av overlay.CostView, h overlay.PeerID, report *StepReport) float64 {
+// probe prices one Phase-3 delay measurement from a to candidate h; av
+// is a's cost view. It reports the measured cost and whether the probe
+// was answered — a timed-out probe is paid for but yields no reading,
+// so the caller skips the candidate.
+func (o *Optimizer) probe(av overlay.CostView, a, h overlay.PeerID, report *StepReport) (float64, bool) {
 	report.Probes++
 	c := av.To(h)
 	report.ProbeTraffic += o.cfg.ProbeCost * c
-	return c
+	if inj := o.net.Faults(); inj != nil && inj.ProbeTimeout(int(a), int(h), 0) {
+		report.ProbeTimeouts++
+		return c, false
+	}
+	return c, true
 }
 
 // applyFigure4 applies the paper's Figure-4 rules to candidate h drawn
 // from non-flooding neighbor b of peer a; av is a's cost view. It
 // reports whether any connection changed.
 func (o *Optimizer) applyFigure4(av overlay.CostView, a, b, h overlay.PeerID, report *StepReport) bool {
-	ah := o.probe(av, h, report)
+	ah, ok := o.probe(av, a, h, report)
+	if !ok {
+		return false // probe timed out: no reading to decide on
+	}
 	ab := av.To(b)
 	switch {
 	case ah < ab:
@@ -618,7 +676,7 @@ func (o *Optimizer) applyFigure4(av overlay.CostView, a, b, h overlay.PeerID, re
 		if o.net.Degree(b) <= 1 {
 			return false
 		}
-		if !o.net.Connect(a, h) {
+		if !o.tryConnect(a, h, report) {
 			return false
 		}
 		if !o.safeCut(a, b) {
@@ -641,7 +699,7 @@ func (o *Optimizer) applyFigure4(av overlay.CostView, a, b, h overlay.PeerID, re
 		if _, renewing := o.pending[a][b]; !renewing && len(o.pending[a]) >= MaxPending {
 			return false
 		}
-		if !o.net.Connect(a, h) {
+		if !o.tryConnect(a, h, report) {
 			return false
 		}
 		o.resolvePending(a, b, report)
@@ -667,16 +725,18 @@ func (o *Optimizer) resolvePending(a, b overlay.PeerID, report *StepReport) {
 }
 
 // candidates lists the neighbors of b eligible to replace b for peer a:
-// alive, not a itself, not already connected to a, and below the
-// connection ceiling (a saturated peer would refuse the dial, so probing
-// it would waste the attempt). Used by the naive and closest policies,
+// alive, not a itself, not already connected to a, below the connection
+// ceiling (a saturated peer would refuse the dial, so probing it would
+// waste the attempt), and not dial-blacklisted (a peer that keeps
+// refusing connections is not worth another probe — each skip counts as
+// a blacklist hit). Used by the naive and closest policies,
 // which score multiple candidates per pair; the random policy
 // rejection-samples a single pick instead. Both adjacency lists are
 // sorted, so the already-connected filter is a linear merge against a's
 // list rather than a membership probe per candidate, and b is
 // disproportionately often a hub. The returned slice is a reused scratch
 // buffer, valid until the next candidates call.
-func (o *Optimizer) candidates(a, b overlay.PeerID) []overlay.PeerID {
+func (o *Optimizer) candidates(a, b overlay.PeerID, report *StepReport) []overlay.PeerID {
 	out := o.candBuf[:0]
 	an := o.net.NeighborsView(a)
 	for _, h := range o.net.NeighborsView(b) {
@@ -687,6 +747,10 @@ func (o *Optimizer) candidates(a, b overlay.PeerID) []overlay.PeerID {
 			continue // already a neighbor of a
 		}
 		if h != a && o.net.Alive(h) && !o.atCap(h) {
+			if o.blacklisted(h) {
+				report.BlacklistHits++
+				continue
+			}
 			out = append(out, h)
 		}
 	}
@@ -720,6 +784,10 @@ func (o *Optimizer) phase3Random(rng *sim.RNG, a overlay.PeerID, st *PeerState, 
 			if h == a || !o.net.Alive(h) || o.atCap(h) || o.net.HasEdge(a, h) {
 				continue
 			}
+			if o.blacklisted(h) {
+				report.BlacklistHits++
+				continue
+			}
 			o.applyFigure4(av, a, b, h, report)
 			break
 		}
@@ -744,7 +812,7 @@ func (o *Optimizer) phase3Naive(rng *sim.RNG, a overlay.PeerID, st *PeerState, r
 	if worst < 0 {
 		return
 	}
-	cands := o.candidates(a, worst)
+	cands := o.candidates(a, worst, report)
 	if len(cands) == 0 {
 		return
 	}
@@ -754,11 +822,11 @@ func (o *Optimizer) phase3Naive(rng *sim.RNG, a overlay.PeerID, st *PeerState, r
 	}
 	best, bestCost := overlay.PeerID(-1), worstCost
 	for _, h := range cands {
-		if c := o.probe(av, h, report); c < bestCost {
+		if c, ok := o.probe(av, a, h, report); ok && c < bestCost {
 			best, bestCost = h, c
 		}
 	}
-	if best >= 0 && o.net.Degree(worst) > 1 && o.net.Connect(a, best) {
+	if best >= 0 && o.net.Degree(worst) > 1 && o.tryConnect(a, best, report) {
 		if !o.safeCut(a, worst) {
 			o.net.Disconnect(a, best)
 			return
@@ -777,9 +845,9 @@ func (o *Optimizer) phase3Closest(a overlay.PeerID, st *PeerState, report *StepR
 		if !o.net.Alive(b) || !o.net.HasEdge(a, b) {
 			continue
 		}
-		for _, h := range o.candidates(a, b) {
-			c := o.probe(av, h, report)
-			if bestH < 0 || c < bestCost {
+		for _, h := range o.candidates(a, b, report) {
+			c, ok := o.probe(av, a, h, report)
+			if ok && (bestH < 0 || c < bestCost) {
 				bestB, bestH, bestCost = b, h, c
 			}
 		}
@@ -795,7 +863,7 @@ func (o *Optimizer) applyFigure4WithCost(av overlay.CostView, a, b, h overlay.Pe
 	ab := av.To(b)
 	switch {
 	case ah < ab:
-		if o.net.Degree(b) > 1 && o.net.Connect(a, h) {
+		if o.net.Degree(b) > 1 && o.tryConnect(a, h, report) {
 			if !o.safeCut(a, b) {
 				o.net.Disconnect(a, h)
 				return
@@ -810,7 +878,7 @@ func (o *Optimizer) applyFigure4WithCost(av overlay.CostView, a, b, h overlay.Pe
 		if _, renewing := o.pending[a][b]; !renewing && len(o.pending[a]) >= MaxPending {
 			return
 		}
-		if o.net.Connect(a, h) {
+		if o.tryConnect(a, h, report) {
 			o.resolvePending(a, b, report)
 			if o.pending[a] == nil {
 				o.pending[a] = make(map[overlay.PeerID]pendingCut)

@@ -460,7 +460,7 @@ func TestMaxPendingCapsExperiments(t *testing.T) {
 	}
 	var rep StepReport
 	for _, b := range st.NonFlooding {
-		for _, h := range o.candidates(0, b) {
+		for _, h := range o.candidates(0, b, &rep) {
 			o.applyFigure4(o.net.CostsFrom(0), 0, b, h, &rep)
 		}
 	}

@@ -170,11 +170,15 @@ func (sc *buildScratch) visited(n int) (mark []uint32, posOf []int32) {
 
 // buildState runs Phases 1–2 for peer p against the current network,
 // assembling the flat PeerState through sc. sparse selects the ablation
-// reading (trees over the overlay subgraph only). It only reads the
-// network (via zero-copy neighbor views), so rebuild workers may run it
-// concurrently — each with its own scratch — while no mutation is in
-// flight.
-func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, h int, sparse bool) *PeerState {
+// reading (trees over the overlay subgraph only). excluded, when
+// non-nil, marks peers whose cost entries aged past StaleTTL — they are
+// invisible to the closure BFS and the neighbor split, so the tree
+// degrades by shrinking around them instead of spanning entries nobody
+// refreshed (the peer itself is never excluded from its own view). It
+// only reads the network (via zero-copy neighbor views), so rebuild
+// workers may run it concurrently — each with its own scratch — while
+// no mutation is in flight.
+func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, h int, sparse bool, excluded []bool) *PeerState {
 	mark, posOf := sc.visited(net.N())
 
 	// One BFS yields the closure, the positions, and the depths: every
@@ -192,6 +196,9 @@ func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, h int,
 		}
 		for _, v := range net.NeighborsView(order[head]) {
 			if mark[v] != sc.epoch {
+				if excluded != nil && excluded[v] {
+					continue
+				}
 				mark[v] = sc.epoch
 				posOf[v] = int32(len(order))
 				order = append(order, v)
@@ -373,6 +380,9 @@ func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, h int,
 	st.flooding = split[:k:k]
 	nf := split[k:k]
 	for _, q := range nbrs {
+		if excluded != nil && excluded[q] {
+			continue // stale past TTL: neither flooded to nor optimized over
+		}
 		if !onTree(treeP, q) {
 			nf = append(nf, q)
 		}

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -138,11 +139,26 @@ func BuildEnv(seed int64, sc Scale, c float64) (*Env, error) {
 const TriadProb = 0.6
 
 // QuerySample aggregates the three §4.2 QoS metrics over a batch of
-// queries.
+// queries, plus the fault accounting the robustness experiments read.
 type QuerySample struct {
 	Traffic  metrics.Agg // traffic cost per query
 	Response metrics.Agg // first-response time per query (finite only)
 	Scope    metrics.Agg // peers reached per query
+	// Queries is the number of queries measured.
+	Queries int
+	// Failed counts queries whose source never received a response
+	// (no responder reached — loss, crash debris, or degraded trees).
+	Failed int
+	// Lost and DeadLetters total the per-flood fault drops.
+	Lost, DeadLetters int
+}
+
+// SuccessRate is the fraction of queries that received a response.
+func (s QuerySample) SuccessRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return 1 - float64(s.Failed)/float64(s.Queries)
 }
 
 // MeasureQueries evaluates n queries from random live sources with the
@@ -168,6 +184,7 @@ func (e *Env) MeasureQueries(fwd core.Forwarder, n int, label string) QuerySampl
 		traffic, response float64
 		src               overlay.PeerID
 		scope, sends, dup int
+		lost, dead        int
 	}
 	results := make([]point, n)
 	_ = forEach(n, func(i int) error {
@@ -178,12 +195,19 @@ func (e *Env) MeasureQueries(fwd core.Forwarder, n int, label string) QuerySampl
 			responders[alive[qrng.Intn(len(alive))]] = true
 		}
 		r := gnutella.Evaluate(e.Net, fwd, src, e.Scale.TTL, responders)
-		results[i] = point{r.TrafficCost, r.FirstResponse, src, r.Scope, r.Transmissions, r.Duplicates}
+		results[i] = point{r.TrafficCost, r.FirstResponse, src, r.Scope, r.Transmissions, r.Duplicates, r.Lost, r.DeadLetters}
 		return nil
 	})
+	s.Queries = n
 	for i := range results {
 		s.Traffic.Add(results[i].traffic)
-		s.Response.Add(results[i].response)
+		if math.IsInf(results[i].response, 1) {
+			s.Failed++
+		} else {
+			s.Response.Add(results[i].response)
+		}
+		s.Lost += results[i].lost
+		s.DeadLetters += results[i].dead
 		s.Scope.Add(float64(results[i].scope))
 		if e.Stream != nil {
 			q := obs.QueryRecord{

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ace/internal/churn"
+	"ace/internal/core"
+	"ace/internal/fault"
+	"ace/internal/report"
+	"ace/internal/sim"
+)
+
+// FaultSpec parameterizes the fault-injection sweep: a grid of message
+// loss rates × crash fractions, each point run as a churning environment
+// with the fault plan attached and the hardened optimizer keeping the
+// overlay optimized through it.
+type FaultSpec struct {
+	// C is the topology's average degree.
+	C int
+	// Depth is ACE's closure depth.
+	Depth int
+	// Duration is the simulated churn span per grid point.
+	Duration time.Duration
+	// ACEInterval is how often the optimizer runs a round.
+	ACEInterval time.Duration
+	// MeanLifetime shortens the churn model's session length so the
+	// sweep sees real turnover within Duration.
+	MeanLifetime time.Duration
+	// LossRates and CrashFractions span the grid. A loss rate is applied
+	// uniformly as message loss, probe timeout rate, and connect failure
+	// rate — one "how bad is the network" knob.
+	LossRates      []float64
+	CrashFractions []float64
+}
+
+// DefaultFaultSpec is the grid the EXPERIMENTS.md table reports.
+func DefaultFaultSpec(c int) FaultSpec {
+	return FaultSpec{
+		C: c, Depth: 1,
+		Duration:       4 * time.Minute,
+		ACEInterval:    30 * time.Second,
+		MeanLifetime:   2 * time.Minute,
+		LossRates:      []float64{0, 0.01, 0.05, 0.10},
+		CrashFractions: []float64{0, 0.25},
+	}
+}
+
+// FaultPoint is one grid point's outcome.
+type FaultPoint struct {
+	LossRate      float64
+	CrashFraction float64
+
+	// SuccessRate is the fraction of measured queries answered.
+	SuccessRate float64
+	// Traffic and Response are the per-query means (response over
+	// answered queries only).
+	Traffic  float64
+	Response float64
+	Scope    float64
+
+	// Connected records whether the overlay was still one component
+	// when measurement ran.
+	Connected bool
+
+	// Protocol reactions accumulated over the run's optimizer rounds.
+	ProbeRetries, ProbeTimeouts  int
+	StaleExpired, FailedConnects int
+	PurgedEdges, Crashes         int
+	// Injected faults, from the injector's own counters.
+	MessagesLost uint64
+}
+
+// FaultSweepResult is the full grid, row-major over CrashFractions then
+// LossRates.
+type FaultSweepResult struct {
+	Spec   FaultSpec
+	Points []FaultPoint
+}
+
+// FaultSweep runs the grid on the first seed of the scale. Each point
+// builds a fresh churning environment, attaches a deterministic fault
+// plan derived from (seed, point), optimizes through Duration of faulty
+// churn, and measures queries over the degraded overlay. The whole sweep
+// is reproducible: same scale + spec ⇒ same result.
+func FaultSweep(sc Scale, spec FaultSpec) (*FaultSweepResult, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if len(spec.LossRates) == 0 || len(spec.CrashFractions) == 0 {
+		return nil, fmt.Errorf("experiments: empty fault grid")
+	}
+	if spec.Duration <= 0 || spec.ACEInterval <= 0 || spec.MeanLifetime <= 0 {
+		return nil, fmt.Errorf("experiments: bad fault spec %+v", spec)
+	}
+	res := &FaultSweepResult{Spec: spec}
+	for ci, cf := range spec.CrashFractions {
+		for li, loss := range spec.LossRates {
+			pt, err := faultPointRun(sc, spec, loss, cf, int64(ci*len(spec.LossRates)+li))
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+func faultPointRun(sc Scale, spec FaultSpec, loss, crash float64, pointIdx int64) (FaultPoint, error) {
+	pt := FaultPoint{LossRate: loss, CrashFraction: crash}
+	env, err := buildDynamicEnv(sc.Seeds[0], sc, spec.C)
+	if err != nil {
+		return pt, err
+	}
+	plan := fault.Plan{
+		// Each grid point gets its own deterministic stream, decorrelated
+		// from the environment seed and every other point.
+		Seed:             sc.Seeds[0]*1_000_003 + pointIdx + 1,
+		LossRate:         loss,
+		ProbeTimeoutRate: loss,
+		ConnectFailRate:  loss,
+		CrashFraction:    crash,
+	}
+	var inj *fault.Injector
+	if plan.Active() {
+		if inj, err = fault.NewInjector(plan); err != nil {
+			return pt, err
+		}
+		env.Net.SetFaults(inj)
+	}
+
+	eng := sim.NewEngine()
+	model := churn.DefaultModel(spec.C)
+	model.MeanLifetime = spec.MeanLifetime
+	model.StdDevLifetime = spec.MeanLifetime / 2
+	model.QueriesPerMinute = 0 // queries are measured after the run
+	model.CrashFraction = crash
+	driver, err := churn.NewDriver(eng, env.Net, model, env.RNG.Derive("churn"))
+	if err != nil {
+		return pt, err
+	}
+	opt, err := core.NewOptimizer(env.Net, core.DefaultConfig(spec.Depth))
+	if err != nil {
+		return pt, err
+	}
+	optRNG := env.RNG.Derive("opt")
+	var tick func()
+	tick = func() {
+		rep := opt.Round(optRNG)
+		pt.ProbeRetries += rep.ProbeRetries
+		pt.ProbeTimeouts += rep.ProbeTimeouts
+		pt.StaleExpired += rep.StaleExpired
+		pt.FailedConnects += rep.FailedConnects
+		pt.PurgedEdges += rep.PurgedEdges
+		eng.After(spec.ACEInterval, tick)
+	}
+	eng.After(spec.ACEInterval, tick)
+	driver.Start()
+	eng.RunUntil(spec.Duration)
+
+	pt.Crashes = driver.Crashes()
+	pt.Connected = env.Net.IsConnected()
+	s := env.MeasureQueries(core.TreeForwarding{Opt: opt}, sc.QueriesPerPoint,
+		fmt.Sprintf("fault/%g/%g", loss, crash))
+	pt.SuccessRate = s.SuccessRate()
+	pt.Traffic = s.Traffic.Mean()
+	pt.Response = s.Response.Mean()
+	pt.Scope = s.Scope.Mean()
+	pt.MessagesLost = inj.Stats().MessagesLost
+	return pt, nil
+}
+
+// Figure renders query success rate against loss rate, one curve per
+// crash fraction — the graceful-degradation picture.
+func (r *FaultSweepResult) Figure() report.Figure {
+	fig := report.Figure{
+		ID: "faultsweep", Title: "Query success rate under message loss and crash-failures",
+		XLabel: "loss rate (%)", YLabel: "success rate (%)",
+	}
+	for _, cf := range r.Spec.CrashFractions {
+		curve := report.Curve{Label: fmt.Sprintf("crash fraction %g", cf)}
+		for _, pt := range r.Points {
+			if pt.CrashFraction == cf {
+				curve.Points = append(curve.Points, report.Point{
+					X: 100 * pt.LossRate, Y: 100 * pt.SuccessRate,
+				})
+			}
+		}
+		fig.Curves = append(fig.Curves, curve)
+	}
+	return fig
+}
+
+// Table renders the full grid for EXPERIMENTS.md.
+func (r *FaultSweepResult) Table() report.Table {
+	tb := report.Table{
+		ID:    "faultsweep",
+		Title: "ACE under injected faults (per-query means over the degraded overlay)",
+		Cols: []string{"loss", "crash", "success", "traffic", "response (ms)",
+			"scope", "retries", "timeouts", "expired", "purged", "connected"},
+	}
+	for _, pt := range r.Points {
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprintf("%.0f%%", 100*pt.LossRate),
+			fmt.Sprintf("%.0f%%", 100*pt.CrashFraction),
+			fmt.Sprintf("%.1f%%", 100*pt.SuccessRate),
+			fmt.Sprintf("%.1f", pt.Traffic),
+			fmt.Sprintf("%.1f", pt.Response),
+			fmt.Sprintf("%.1f", pt.Scope),
+			fmt.Sprint(pt.ProbeRetries),
+			fmt.Sprint(pt.ProbeTimeouts),
+			fmt.Sprint(pt.StaleExpired),
+			fmt.Sprint(pt.PurgedEdges),
+			fmt.Sprint(pt.Connected),
+		})
+	}
+	return tb
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// faultTestSpec is a cut-down grid so the sweep fits in unit-test time.
+func faultTestSpec() FaultSpec {
+	return FaultSpec{
+		C: 6, Depth: 1,
+		Duration:       2 * time.Minute,
+		ACEInterval:    30 * time.Second,
+		MeanLifetime:   90 * time.Second,
+		LossRates:      []float64{0, 0.10},
+		CrashFractions: []float64{0, 0.25},
+	}
+}
+
+// TestFaultSweepDegradesGracefully: the clean point answers everything,
+// faultier points stay connected and keep a usable success rate — the
+// curve bends, it does not cliff.
+func TestFaultSweepDegradesGracefully(t *testing.T) {
+	res, err := FaultSweep(testScale, faultTestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("grid has %d points, want 4", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if !pt.Connected {
+			t.Fatalf("point %+v: overlay fragmented", pt)
+		}
+		if pt.SuccessRate < 0.5 {
+			t.Fatalf("point loss=%g crash=%g: success rate %.2f collapsed",
+				pt.LossRate, pt.CrashFraction, pt.SuccessRate)
+		}
+	}
+	clean := res.Points[0]
+	if clean.SuccessRate != 1 {
+		t.Fatalf("clean point success rate %.2f, want 1", clean.SuccessRate)
+	}
+	if clean.ProbeRetries != 0 || clean.FailedConnects != 0 || clean.MessagesLost != 0 {
+		t.Fatalf("clean point injected faults: %+v", clean)
+	}
+	// The faulty points must actually exercise the machinery.
+	lossy := res.Points[1] // loss 10%, crash 0
+	if lossy.ProbeRetries == 0 || lossy.ProbeTimeouts == 0 {
+		t.Fatalf("lossy point triggered no retries/timeouts: %+v", lossy)
+	}
+	crashy := res.Points[2] // loss 0, crash 25%
+	if crashy.Crashes == 0 || crashy.PurgedEdges == 0 {
+		t.Fatalf("crashy point purged nothing: %+v", crashy)
+	}
+	if got := len(res.Figure().Curves); got != 2 {
+		t.Fatalf("figure has %d curves, want 2", got)
+	}
+	if got := len(res.Table().Rows); got != 4 {
+		t.Fatalf("table has %d rows, want 4", got)
+	}
+}
+
+// TestFaultSweepDeterministic: the same scale and spec reproduce the
+// whole grid bit for bit — fixed plan seeds, derived RNG streams, and
+// order-independent fault hashes.
+func TestFaultSweepDeterministic(t *testing.T) {
+	spec := faultTestSpec()
+	spec.LossRates = []float64{0.05}
+	spec.CrashFractions = []float64{0.25}
+	a, err := FaultSweep(testScale, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(testScale, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Points, b.Points) {
+		t.Fatalf("fault sweep not reproducible:\n%+v\n%+v", a.Points, b.Points)
+	}
+}
+
+// TestFaultSweepValidation rejects empty grids and degenerate specs.
+func TestFaultSweepValidation(t *testing.T) {
+	spec := faultTestSpec()
+	spec.LossRates = nil
+	if _, err := FaultSweep(testScale, spec); err == nil {
+		t.Fatal("empty loss grid accepted")
+	}
+	spec = faultTestSpec()
+	spec.Duration = 0
+	if _, err := FaultSweep(testScale, spec); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+// TestLargeDegradedRun is the acceptance run: a 10,000-peer overlay
+// churning with 25% crash-failures under 5% message loss / probe
+// timeouts / connect failures completes, stays connected, and still
+// answers most queries. Skipped under -short.
+func TestLargeDegradedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-peer degraded run skipped in -short mode")
+	}
+	sc := Scale{
+		PhysicalNodes:      15000,
+		Peers:              10000,
+		Seeds:              []int64{1},
+		QueriesPerPoint:    30,
+		TTL:                1 << 20,
+		RespondersPerQuery: 10,
+	}
+	spec := FaultSpec{
+		C: 8, Depth: 1,
+		Duration:       90 * time.Second,
+		ACEInterval:    30 * time.Second,
+		MeanLifetime:   3 * time.Minute,
+		LossRates:      []float64{0.05},
+		CrashFractions: []float64{0.25},
+	}
+	res, err := FaultSweep(sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	if !pt.Connected {
+		t.Fatal("10k-peer overlay fragmented under faults")
+	}
+	if pt.SuccessRate < 0.7 {
+		t.Fatalf("success rate %.2f collapsed (want graceful degradation)", pt.SuccessRate)
+	}
+	if pt.Crashes == 0 || pt.PurgedEdges == 0 {
+		t.Fatalf("acceptance run exercised no crash machinery: %+v", pt)
+	}
+	if pt.ProbeRetries == 0 || pt.MessagesLost == 0 {
+		t.Fatalf("acceptance run exercised no loss machinery: %+v", pt)
+	}
+	t.Logf("10k degraded: success %.1f%%, traffic %.0f, scope %.0f, retries %d, purged %d",
+		100*pt.SuccessRate, pt.Traffic, pt.Scope, pt.ProbeRetries, pt.PurgedEdges)
+}

@@ -1,0 +1,246 @@
+package fault
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestNilInjectorInjectsNothing pins the nil-safety contract every hot
+// path relies on.
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	in.Advance(7)
+	if in.Round() != 0 {
+		t.Error("nil injector has a round")
+	}
+	if in.DropMessage(1, 2, 3, 4) {
+		t.Error("nil injector dropped a message")
+	}
+	if got := in.TransitDelay(12.5, 1, 2, 3, 4); got != 12.5 {
+		t.Errorf("nil injector jittered delay: %v", got)
+	}
+	if in.ProbeTimeout(1, 2, 0) || in.Unresponsive(3) || in.ConnectFails(1, 2) {
+		t.Error("nil injector injected a fault")
+	}
+	if in.Plan().Active() {
+		t.Error("nil injector has an active plan")
+	}
+	if in.Stats() != (Stats{}) {
+		t.Error("nil injector has stats")
+	}
+}
+
+// TestZeroPlanInjectsNothing: a constructed injector with a zero plan is
+// behaviorally identical to a nil one (the differential test in core
+// pins this end to end).
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Advance(3)
+	for i := 0; i < 200; i++ {
+		if in.DropMessage(uint64(i), i, i+1, uint32(i)) {
+			t.Fatal("zero plan dropped a message")
+		}
+		if got := in.TransitDelay(3.25, uint64(i), i, i+1, 0); got != 3.25 {
+			t.Fatal("zero plan jittered delay")
+		}
+		if in.ProbeTimeout(i, i+1, 0) || in.Unresponsive(i) || in.ConnectFails(i, i+1) {
+			t.Fatal("zero plan injected a fault")
+		}
+	}
+}
+
+// TestDecisionsAreDeterministic: two injectors with the same plan agree
+// on every decision; changing the seed changes the schedule.
+func TestDecisionsAreDeterministic(t *testing.T) {
+	plan := Plan{Seed: 9, LossRate: 0.3, ProbeTimeoutRate: 0.2, ConnectFailRate: 0.25, UnresponsiveFraction: 0.2, DelayJitter: 0.4}
+	a, _ := NewInjector(plan)
+	b, _ := NewInjector(plan)
+	plan.Seed = 10
+	c, _ := NewInjector(plan)
+	a.Advance(5)
+	b.Advance(5)
+	c.Advance(5)
+	diverged := false
+	for i := 0; i < 500; i++ {
+		n := Nonce(uint64(i % 7))
+		if a.DropMessage(n, i, i*3, uint32(i)) != b.DropMessage(n, i, i*3, uint32(i)) {
+			t.Fatal("same plan disagreed on DropMessage")
+		}
+		if a.TransitDelay(1, n, i, i*3, uint32(i)) != b.TransitDelay(1, n, i, i*3, uint32(i)) {
+			t.Fatal("same plan disagreed on TransitDelay")
+		}
+		if a.ProbeTimeout(i, i+1, i%4) != b.ProbeTimeout(i, i+1, i%4) {
+			t.Fatal("same plan disagreed on ProbeTimeout")
+		}
+		if a.Unresponsive(i) != b.Unresponsive(i) {
+			t.Fatal("same plan disagreed on Unresponsive")
+		}
+		if a.ConnectFails(i, i+1) != b.ConnectFails(i, i+1) {
+			t.Fatal("same plan disagreed on ConnectFails")
+		}
+		if a.DropMessage(n, i, i*3, uint32(i)) != c.DropMessage(n, i, i*3, uint32(i)) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced the identical loss schedule")
+	}
+}
+
+// TestRatesBiteStatistically: a 30% loss rate drops roughly 30% of
+// messages — the hash stream behaves like the probability it encodes.
+func TestRatesBiteStatistically(t *testing.T) {
+	in, _ := NewInjector(Plan{Seed: 3, LossRate: 0.3})
+	const n = 20000
+	lost := 0
+	for i := 0; i < n; i++ {
+		if in.DropMessage(Nonce(uint64(i)), i%97, i%89, uint32(i)) {
+			lost++
+		}
+	}
+	frac := float64(lost) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("loss rate 0.3 dropped %.3f of messages", frac)
+	}
+	if got := in.Stats().MessagesLost; got != uint64(lost) {
+		t.Errorf("stats counted %d lost, saw %d", got, lost)
+	}
+}
+
+// TestUnresponsiveWindows: membership is constant within a window and
+// rotates across windows.
+func TestUnresponsiveWindows(t *testing.T) {
+	in, _ := NewInjector(Plan{Seed: 5, UnresponsiveFraction: 0.25, UnresponsivePeriod: 4})
+	const peers = 400
+	in.Advance(0)
+	base := make([]bool, peers)
+	down := 0
+	for p := range base {
+		base[p] = in.Unresponsive(p)
+		if base[p] {
+			down++
+		}
+	}
+	if down == 0 || down == peers {
+		t.Fatalf("degenerate unresponsive set: %d/%d", down, peers)
+	}
+	for r := 1; r < 4; r++ {
+		in.Advance(r)
+		for p := range base {
+			if in.Unresponsive(p) != base[p] {
+				t.Fatalf("round %d: peer %d flipped inside its window", r, p)
+			}
+		}
+	}
+	in.Advance(4)
+	changed := false
+	for p := range base {
+		if in.Unresponsive(p) != base[p] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("unresponsive set identical across windows")
+	}
+}
+
+// TestProbeTimeoutOfUnresponsiveTarget: an unresponsive target times out
+// every attempt regardless of ProbeTimeoutRate.
+func TestProbeTimeoutOfUnresponsiveTarget(t *testing.T) {
+	in, _ := NewInjector(Plan{Seed: 5, UnresponsiveFraction: 0.25, UnresponsivePeriod: 4})
+	target := -1
+	for p := 0; p < 400; p++ {
+		if in.Unresponsive(p) {
+			target = p
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no unresponsive peer found")
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		if !in.ProbeTimeout(1, target, attempt) {
+			t.Fatalf("attempt %d of unresponsive target answered", attempt)
+		}
+		if !in.ConnectFails(1, target) {
+			t.Fatalf("dial %d of unresponsive target succeeded", attempt)
+		}
+	}
+}
+
+// TestJitterBounds: jittered delays stay within [1-j, 1+j] of nominal
+// and actually vary.
+func TestJitterBounds(t *testing.T) {
+	const j = 0.4
+	in, _ := NewInjector(Plan{Seed: 2, DelayJitter: j})
+	varied := false
+	for i := 0; i < 1000; i++ {
+		d := in.TransitDelay(10, Nonce(uint64(i)), i, i+1, uint32(i))
+		if d < 10*(1-j) || d > 10*(1+j) {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, 10*(1-j), 10*(1+j))
+		}
+		if d != 10 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter never moved a delay")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{LossRate: -0.1},
+		{LossRate: 1.5},
+		{DelayJitter: 1},
+		{DelayJitter: -0.2},
+		{ProbeTimeoutRate: 2},
+		{ConnectFailRate: -1},
+		{UnresponsiveFraction: 1.01},
+		{CrashFraction: -0.5},
+		{UnresponsivePeriod: -1},
+	}
+	for i, p := range bad {
+		if _, err := NewInjector(p); err == nil {
+			t.Errorf("plan %d (%+v) validated", i, p)
+		}
+	}
+	if _, err := NewInjector(Plan{Seed: 1, LossRate: 1, DelayJitter: 0.99, UnresponsiveFraction: 1, CrashFraction: 1}); err != nil {
+		t.Errorf("maximal plan rejected: %v", err)
+	}
+}
+
+func TestLoadPlan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	body := `{"seed": 11, "loss_rate": 0.05, "crash_fraction": 0.25, "unresponsive_period": 6}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 11, LossRate: 0.05, CrashFraction: 0.25, UnresponsivePeriod: 6}
+	if p != want {
+		t.Errorf("loaded %+v, want %+v", p, want)
+	}
+	if !p.Active() {
+		t.Error("loaded plan reports inactive")
+	}
+	if err := os.WriteFile(path, []byte(`{"loss_rate": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(path); err == nil {
+		t.Error("invalid plan loaded")
+	}
+	if _, err := LoadPlan(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing plan file loaded")
+	}
+}

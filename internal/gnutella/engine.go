@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ace/internal/core"
+	"ace/internal/fault"
 	"ace/internal/overlay"
 	"ace/internal/sim"
 )
@@ -55,6 +56,7 @@ type QueryStats struct {
 	Transmissions int
 	Duplicates    int
 	Dropped       int // deliveries to peers that left mid-flight
+	Lost          int // transmissions the fault plan dropped in transit
 	// ResponseTraffic is the query-hit return traffic, reported apart
 	// from TrafficCost to stay comparable with Evaluate.
 	ResponseTraffic float64
@@ -172,6 +174,16 @@ func (e *Engine) sendQuery(qs *QueryStats, from overlay.PeerID, s core.Send, ttl
 	c := e.Net.Cost(from, s.To)
 	qs.TrafficCost += c
 	qs.Transmissions++
+	if inj := e.Net.Faults(); inj != nil {
+		// The GUID is the flood nonce: the engine pays for the send,
+		// then the plan decides whether the copy survives the link.
+		seq := uint32(qs.Transmissions)
+		if inj.DropMessage(fault.Nonce(uint64(qs.GUID)), int(from), int(s.To), seq) {
+			qs.Lost++
+			return
+		}
+		c = inj.TransitDelay(c, fault.Nonce(uint64(qs.GUID)), int(from), int(s.To), seq)
+	}
 	e.Sim.After(delayDur(c), func() { e.deliverQuery(qs, from, s, ttl, responder) })
 }
 

@@ -26,6 +26,12 @@ type QueryResult struct {
 	// path), +Inf when no responder was reached. The source responding
 	// itself yields 0.
 	FirstResponse float64
+	// Lost counts transmissions the fault plan dropped in transit; the
+	// sender paid for them, the delivery never happened.
+	Lost int
+	// DeadLetters counts deliveries dropped because the target had
+	// crashed (debris adjacency not yet purged).
+	DeadLetters int
 	// Arrival maps each reached peer to its arrival time in
 	// milliseconds.
 	Arrival map[overlay.PeerID]float64
@@ -94,6 +100,9 @@ func evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl 
 		key := k.popFlight()
 		m := k.pay[key.seq]
 		to := overlay.PeerID(m.to)
+		if k.DeadLetter(to) {
+			continue // crash debris: the target died, the copy is lost
+		}
 		firstCopy := !k.Arrived(to)
 		if !firstCopy {
 			k.Duplicate()
@@ -134,6 +143,8 @@ func evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl 
 		Transmissions: k.Transmissions(),
 		Duplicates:    k.Duplicates(),
 		FirstResponse: first,
+		Lost:          k.Lost(),
+		DeadLetters:   k.DeadLetters(),
 		Arrival:       k.ArrivalMap(),
 	}
 	var hops []Hop

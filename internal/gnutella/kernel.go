@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ace/internal/core"
+	"ace/internal/fault"
 	"ace/internal/overlay"
 )
 
@@ -70,6 +71,17 @@ type Kernel struct {
 	transmissions int
 	duplicates    int
 	traffic       float64
+
+	// Fault state for this flood: the network's injector (nil on clean
+	// runs), the per-flood loss nonce, and the hazard flag that gates
+	// dead-letter checks (set when an injector is attached or crash
+	// debris can leave dead peers in an adjacency). Senders pay for lost
+	// messages — the delivery just never happens.
+	inj         *fault.Injector
+	nonce       uint64
+	hazard      bool
+	lost        int
+	deadLetters int
 
 	tracing bool
 	hops    []Hop
@@ -357,6 +369,10 @@ func (k *Kernel) Begin(net *overlay.Network, fwd core.Forwarder, trace bool) {
 	k.fsc.BeginQuery()
 	k.scope, k.transmissions, k.duplicates = 0, 0, 0
 	k.traffic = 0
+	k.inj = net.Faults()
+	k.nonce = 0
+	k.hazard = k.inj != nil || net.Dangling() > 0
+	k.lost, k.deadLetters = 0, 0
 	k.tracing = trace
 	k.hops = k.hops[:0]
 }
@@ -375,6 +391,7 @@ func (k *Kernel) Arrive(p, from overlay.PeerID, at time.Duration) {
 	a.back = from
 	if from < 0 {
 		a.pathCost = 0
+		k.nonce = fault.Nonce(uint64(p)) // per-flood loss stream, from the source
 	} else if cv, ok := k.net.CostsFromCached(p); ok {
 		// Same vector Cost(p, from) would prefer — one lock-free load.
 		a.pathCost = cv.To(from) + k.arr[from].pathCost
@@ -533,6 +550,17 @@ func (k *Kernel) Emit(at time.Duration, from overlay.PeerID, sends []core.Send, 
 			if k.tracing {
 				k.hops = append(k.hops, Hop{From: from, To: s.To, Cost: c, SentAt: float64(at) / msPerDur})
 			}
+			if k.inj != nil {
+				// The sender already paid for the transmission; a lost
+				// message is simply never delivered, and a delivered one
+				// may arrive off its nominal delay.
+				seq := uint32(k.transmissions)
+				if k.inj.DropMessage(k.nonce, int(from), int(s.To), seq) {
+					k.lost++
+					continue
+				}
+				c = k.inj.TransitDelay(c, k.nonce, int(from), int(s.To), seq)
+			}
 			k.pushFlight(at+delayDur(c), flight{to: int32(s.To), from: int32(from), toPos: s.ToPos, launch: idx, ttl: int32(ttl)})
 		}
 		if tree != core.NoTree {
@@ -562,6 +590,25 @@ func (k *Kernel) Next() (Flight, bool) {
 	}
 	return f, true
 }
+
+// DeadLetter reports whether a delivery to p must be dropped because p
+// is dead — crash debris left p in an adjacency or multicast tree built
+// before it died. The sender already paid for the transmission. Clean
+// floods pay one predicted branch on the hazard flag.
+func (k *Kernel) DeadLetter(p overlay.PeerID) bool {
+	if !k.hazard || k.net.Alive(p) {
+		return false
+	}
+	k.deadLetters++
+	return true
+}
+
+// Lost reports how many of this flood's messages were lost in transit.
+func (k *Kernel) Lost() int { return k.lost }
+
+// DeadLetters reports how many deliveries were dropped because the
+// target had died.
+func (k *Kernel) DeadLetters() int { return k.deadLetters }
 
 // ArrivalMap materializes the public Arrival map from the dense arrays.
 func (k *Kernel) ArrivalMap() map[overlay.PeerID]float64 {

@@ -21,6 +21,11 @@ var (
 	// reuse.
 	cKernelAcquires = obs.NewCounter("ace.gnutella.kernel.acquires")
 	cKernelAllocs   = obs.NewCounter("ace.gnutella.kernel.allocs")
+
+	// Fault effects on floods: messages the plan lost in transit and
+	// deliveries dropped because the target had crashed.
+	cMsgLost     = obs.NewCounter("ace.fault.msg.lost")
+	cDeadLetters = obs.NewCounter("ace.fault.msg.dead_letters")
 )
 
 // ObserveFlood folds the drained flood's totals into the registry.
@@ -39,4 +44,6 @@ func (k *Kernel) ObserveFlood() {
 	}
 	hScope.Observe(uint64(k.scope))
 	hSends.Observe(uint64(k.transmissions))
+	cMsgLost.Add(uint64(k.lost))
+	cDeadLetters.Add(uint64(k.deadLetters))
 }

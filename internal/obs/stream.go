@@ -26,6 +26,15 @@ type RoundRecord struct {
 	ExchangeCost float64 `json:"exchange_cost"`
 	AvgDegree    float64 `json:"avg_degree,omitempty"`
 
+	// Fault-hardening reactions (zero on clean runs; omitted from JSON).
+	ProbeRetries   int `json:"probe_retries,omitempty"`
+	ProbeTimeouts  int `json:"probe_timeouts,omitempty"`
+	StaleMarked    int `json:"stale_marked,omitempty"`
+	StaleExpired   int `json:"stale_expired,omitempty"`
+	BlacklistHits  int `json:"blacklist_hits,omitempty"`
+	FailedConnects int `json:"failed_connects,omitempty"`
+	PurgedEdges    int `json:"purged_edges,omitempty"`
+
 	QueryTraffic  float64 `json:"query_traffic,omitempty"`
 	QueryResponse float64 `json:"query_response_ms,omitempty"`
 	QueryScope    float64 `json:"query_scope,omitempty"`

@@ -1,0 +1,221 @@
+package overlay
+
+import (
+	"reflect"
+	"testing"
+
+	"ace/internal/sim"
+)
+
+// crashNet is a 6-peer net where 2 is connected to 0,1,3,4 (degree 4).
+func crashNet(t *testing.T) *Network {
+	t.Helper()
+	net := testNet(t, 6)
+	rng := sim.NewRNG(1)
+	allAlive(rng, net)
+	for _, q := range []PeerID{0, 1, 3, 4} {
+		if !net.Connect(2, q) {
+			t.Fatalf("Connect(2,%d) failed", q)
+		}
+	}
+	net.Connect(0, 1)
+	net.Connect(4, 5)
+	return net
+}
+
+func TestCrashLeavesDanglingEdges(t *testing.T) {
+	net := crashNet(t)
+	cursor := net.Version()
+	edgesBefore := net.edges
+
+	net.Crash(2)
+
+	if net.Alive(2) {
+		t.Fatal("crashed peer still alive")
+	}
+	if net.NumAlive() != 5 {
+		t.Fatalf("NumAlive = %d, want 5", net.NumAlive())
+	}
+	if got := net.edges; got != edgesBefore-4 {
+		t.Fatalf("edges = %d, want %d", got, edgesBefore-4)
+	}
+	if net.Dangling() != 4 {
+		t.Fatalf("Dangling = %d, want 4", net.Dangling())
+	}
+	if len(net.Neighbors(2)) != 0 {
+		t.Fatal("crashed peer kept its adjacency")
+	}
+	// Holders still list 2: the half-open edge a crash leaves behind.
+	for _, q := range []PeerID{0, 1, 3, 4} {
+		if !net.HasEdge(q, 2) {
+			t.Fatalf("holder %d lost its dangling reference to 2", q)
+		}
+	}
+	got, _, ok := net.EventsSince(cursor)
+	want := []Event{
+		{EventDisconnect, 2, 0},
+		{EventDisconnect, 2, 1},
+		{EventDisconnect, 2, 3},
+		{EventDisconnect, 2, 4},
+		{EventCrash, 2, -1},
+	}
+	if !ok {
+		t.Fatal("journal overflowed")
+	}
+	eventsEqual(t, got, want)
+
+	// Crash of a dead peer is a no-op.
+	v := net.Version()
+	net.Crash(2)
+	if net.Version() != v {
+		t.Fatal("Crash of dead peer moved the version")
+	}
+}
+
+func TestDanglingPairsOrder(t *testing.T) {
+	net := crashNet(t)
+	net.Crash(2)
+	net.Crash(5) // held by 4 only
+
+	pairs := net.DanglingPairs(nil)
+	want := []DanglingPair{
+		{Holder: 0, Dead: 2},
+		{Holder: 1, Dead: 2},
+		{Holder: 3, Dead: 2},
+		{Holder: 4, Dead: 2},
+		{Holder: 4, Dead: 5},
+	}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("DanglingPairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestPurgeDangling(t *testing.T) {
+	net := crashNet(t)
+	net.Crash(2)
+	v := net.Version()
+
+	if !net.PurgeDangling(0, 2) {
+		t.Fatal("PurgeDangling(0, 2) failed")
+	}
+	if net.HasEdge(0, 2) {
+		t.Fatal("purged reference survived")
+	}
+	if net.Dangling() != 3 {
+		t.Fatalf("Dangling = %d, want 3", net.Dangling())
+	}
+	if net.PurgeDangling(0, 2) {
+		t.Fatal("double purge reported true")
+	}
+	// Purging a live edge must be refused: 0–1 is alive-alive.
+	if net.PurgeDangling(0, 1) {
+		t.Fatal("PurgeDangling removed a live edge")
+	}
+	// Purges are silent: the disconnect was journaled at crash time.
+	if net.Version() != v {
+		t.Fatalf("purge moved version %d -> %d", v, net.Version())
+	}
+}
+
+func TestDisconnectRoutesDanglingToPurge(t *testing.T) {
+	net := crashNet(t)
+	net.Crash(2)
+
+	// Either argument order purges the half-open edge.
+	if !net.Disconnect(0, 2) {
+		t.Fatal("Disconnect(live, dead) did not purge")
+	}
+	if !net.Disconnect(2, 1) {
+		t.Fatal("Disconnect(dead, live) did not purge")
+	}
+	if net.Dangling() != 2 {
+		t.Fatalf("Dangling = %d, want 2", net.Dangling())
+	}
+	net.Crash(5)
+	if net.Disconnect(2, 5) {
+		t.Fatal("Disconnect(dead, dead) reported true")
+	}
+}
+
+func TestRejoinPurgesDangling(t *testing.T) {
+	net := crashNet(t)
+	net.Crash(2)
+	rng := sim.NewRNG(7)
+
+	net.Join(rng, 2, 2)
+	if net.Dangling() != 0 {
+		t.Fatalf("Dangling after rejoin = %d, want 0", net.Dangling())
+	}
+	if !net.Alive(2) {
+		t.Fatal("rejoined peer not alive")
+	}
+	// Old holders must not still list 2 unless a fresh Connect re-made
+	// the edge — and adjacency must be duplicate-free either way.
+	for p := 0; p < net.N(); p++ {
+		nbrs := net.Neighbors(PeerID(p))
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i-1] >= nbrs[i] {
+				t.Fatalf("peer %d adjacency unsorted/duplicated: %v", p, nbrs)
+			}
+		}
+		for _, q := range nbrs {
+			if !net.HasEdge(q, PeerID(p)) {
+				t.Fatalf("asymmetric live edge %d-%d after rejoin", p, q)
+			}
+		}
+	}
+}
+
+func TestLeaveWhileHoldingDangling(t *testing.T) {
+	net := crashNet(t)
+	net.Crash(2)
+	edges, dangling := net.edges, net.Dangling()
+
+	// 4 holds dangling references to 2 — a graceful leave must release
+	// them without touching the live-edge count twice.
+	net.Leave(4)
+	if net.Dangling() != dangling-1 {
+		t.Fatalf("Dangling = %d, want %d", net.Dangling(), dangling-1)
+	}
+	// 4's only live edge was 4–5.
+	if net.edges != edges-1 {
+		t.Fatalf("edges = %d, want %d", net.edges, edges-1)
+	}
+	if len(net.danglingAt[2]) != 3 {
+		t.Fatalf("danglingAt[2] = %v, want 3 holders", net.danglingAt[2])
+	}
+
+	// Crash of a holder releases its dangling references the same way.
+	net.Crash(3)
+	if net.Dangling() != dangling-2 {
+		t.Fatalf("Dangling after holder crash = %d, want %d", net.Dangling(), dangling-2)
+	}
+}
+
+func TestConnectivityAndSnapshotSkipDangling(t *testing.T) {
+	net := testNet(t, 4)
+	rng := sim.NewRNG(1)
+	allAlive(rng, net)
+	// Line 0–1–2–3.
+	net.Connect(0, 1)
+	net.Connect(1, 2)
+	net.Connect(2, 3)
+	if !net.IsConnected() {
+		t.Fatal("line not connected")
+	}
+
+	net.Crash(1)
+	// 0 is isolated now: its only reference is half-open.
+	if net.IsConnected() {
+		t.Fatal("dangling reference carried connectivity")
+	}
+	snap := net.SnapshotEdges()
+	if len(snap) != 1 || snap[0].P != 2 || snap[0].Q != 3 {
+		t.Fatalf("SnapshotEdges = %v, want [{2 3}]", snap)
+	}
+
+	net.Connect(0, 2)
+	if !net.IsConnected() {
+		t.Fatal("repair did not restore connectivity")
+	}
+}

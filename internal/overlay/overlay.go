@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"slices"
 
+	"ace/internal/fault"
 	"ace/internal/physical"
 	"ace/internal/sim"
 )
@@ -35,6 +36,21 @@ type Network struct {
 	nAlive    int
 	edges     int
 
+	// Crash-failure state: a crashed peer's links are not torn down by a
+	// handshake — each surviving endpoint keeps a half-open reference in
+	// its adjacency until a failed probe makes it purge the entry.
+	// dangling counts those references (kept out of `edges`, which counts
+	// live connections only); danglingAt[p] lists the peers still holding
+	// a reference to crashed peer p, so a rejoin can purge the leftovers
+	// before reconnecting (a stale entry would otherwise corrupt the
+	// sorted adjacency invariant).
+	dangling   int
+	danglingAt [][]PeerID
+
+	// faults is the attached fault injector; nil (the default) injects
+	// nothing and costs consumers one predicted branch.
+	faults *fault.Injector
+
 	// Mutation journal: every effective Connect/Disconnect/Join/Leave
 	// appends one Event and bumps version. journalBase is the version of
 	// the oldest retained event minus... see EventsSince.
@@ -56,6 +72,11 @@ const (
 	EventJoin
 	// EventLeave records P turning dead (Q is -1).
 	EventLeave
+	// EventCrash records P dying without a handshake (Q is -1). Like
+	// Leave it is preceded by one EventDisconnect per incident link —
+	// the links stop working at crash time even though the surviving
+	// endpoints' adjacency entries linger until purged.
+	EventCrash
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +90,8 @@ func (k EventKind) String() string {
 		return "join"
 	case EventLeave:
 		return "leave"
+	case EventCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -307,8 +330,20 @@ func (n *Network) Connect(p, q PeerID) bool {
 }
 
 // Disconnect removes the link between p and q, reporting whether one
-// existed.
+// existed. A half-open edge to a crashed peer routes to the purge path
+// instead: the live connection it was part of is already gone (and was
+// journaled at crash time).
 func (n *Network) Disconnect(p, q PeerID) bool {
+	if !n.alive[p] || !n.alive[q] {
+		switch {
+		case n.alive[p]:
+			return n.PurgeDangling(p, q)
+		case n.alive[q]:
+			return n.PurgeDangling(q, p)
+		default:
+			return false
+		}
+	}
 	if !n.HasEdge(p, q) {
 		return false
 	}
@@ -320,10 +355,20 @@ func (n *Network) Disconnect(p, q PeerID) bool {
 }
 
 // revive flips a dead peer alive and journals the join; generators use it
-// directly, Join wraps it with the connection protocol.
+// directly, Join wraps it with the connection protocol. Any half-open
+// references still held against p from a crash are purged first — the
+// returning process is a fresh socket, and a stale adjacency entry would
+// otherwise duplicate on reconnection.
 func (n *Network) revive(p PeerID) bool {
 	if n.alive[p] {
 		return false
+	}
+	if n.dangling > 0 && int(p) < len(n.danglingAt) {
+		for _, q := range n.danglingAt[p] {
+			n.nbr[q] = removeSorted(n.nbr[q], p)
+			n.dangling--
+		}
+		n.danglingAt[p] = nil
 	}
 	n.alive[p] = true
 	n.nAlive++
@@ -412,6 +457,13 @@ func (n *Network) Leave(p PeerID) {
 	}
 	n.hostCache[p] = merged
 	for _, q := range n.nbr[p] {
+		if !n.alive[q] {
+			// A half-open reference to a crashed peer dies with p; its
+			// disconnect was journaled at q's crash.
+			n.dangling--
+			n.danglingAt[q] = removeSorted(n.danglingAt[q], p)
+			continue
+		}
 		n.nbr[q] = removeSorted(n.nbr[q], p)
 		n.edges--
 		n.record(EventDisconnect, p, q)
@@ -421,6 +473,102 @@ func (n *Network) Leave(p PeerID) {
 	n.nAlive--
 	n.record(EventLeave, p, -1)
 }
+
+// Crash removes a live peer WITHOUT the leave handshake: its links stop
+// carrying traffic immediately (journaled as disconnects, then an
+// EventCrash), but each surviving neighbor keeps a half-open reference
+// in its adjacency — it has no way to know yet — until a failed probe
+// makes it call PurgeDangling, or the crashed slot rejoins. The host
+// cache merges as in Leave: real clients persist theirs to disk, so a
+// crash does not erase it.
+func (n *Network) Crash(p PeerID) {
+	if !n.alive[p] {
+		return
+	}
+	merged := n.Neighbors(p)
+	seen := make(map[PeerID]bool, len(merged)+len(n.hostCache[p]))
+	for _, q := range merged {
+		seen[q] = true
+	}
+	for _, q := range n.hostCache[p] {
+		if !seen[q] && len(merged) < maxHostCache {
+			seen[q] = true
+			merged = append(merged, q)
+		}
+	}
+	n.hostCache[p] = merged
+	if n.danglingAt == nil {
+		n.danglingAt = make([][]PeerID, len(n.attach))
+	}
+	holders := n.danglingAt[p][:0]
+	for _, q := range n.nbr[p] {
+		if !n.alive[q] {
+			// p held its own half-open reference to an earlier crash;
+			// it dies with p rather than becoming doubly dangling.
+			n.dangling--
+			n.danglingAt[q] = removeSorted(n.danglingAt[q], p)
+			continue
+		}
+		holders = append(holders, q)
+		n.edges--
+		n.dangling++
+		n.record(EventDisconnect, p, q)
+	}
+	n.danglingAt[p] = holders
+	n.nbr[p] = n.nbr[p][:0]
+	n.alive[p] = false
+	n.nAlive--
+	n.record(EventCrash, p, -1)
+}
+
+// PurgeDangling drops holder's half-open adjacency entry for crashed
+// peer dead, reporting whether one existed. It journals nothing: the
+// link's disconnect was journaled when the crash severed it; this is
+// only the surviving endpoint catching up with that fact.
+func (n *Network) PurgeDangling(holder, dead PeerID) bool {
+	if n.dangling == 0 || int(dead) >= len(n.danglingAt) || n.alive[dead] {
+		return false
+	}
+	i, ok := slices.BinarySearch(n.nbr[holder], dead)
+	if !ok {
+		return false
+	}
+	n.nbr[holder] = append(n.nbr[holder][:i], n.nbr[holder][i+1:]...)
+	n.dangling--
+	n.danglingAt[dead] = removeSorted(n.danglingAt[dead], holder)
+	return true
+}
+
+// Dangling reports how many half-open references to crashed peers are
+// still held across the overlay.
+func (n *Network) Dangling() int { return n.dangling }
+
+// DanglingPair is one half-open edge a crash left behind: Holder still
+// lists Dead in its adjacency.
+type DanglingPair struct {
+	Holder, Dead PeerID
+}
+
+// DanglingPairs appends every half-open reference in deterministic
+// order (ascending dead peer, then ascending holder) and returns buf.
+func (n *Network) DanglingPairs(buf []DanglingPair) []DanglingPair {
+	if n.dangling == 0 {
+		return buf
+	}
+	for dead := range n.danglingAt {
+		for _, holder := range n.danglingAt[dead] {
+			buf = append(buf, DanglingPair{Holder: holder, Dead: PeerID(dead)})
+		}
+	}
+	return buf
+}
+
+// SetFaults attaches a fault injector; nil detaches. Consumers (the
+// optimizer, the flood kernels) read it per round/query via Faults.
+func (n *Network) SetFaults(in *fault.Injector) { n.faults = in }
+
+// Faults returns the attached fault injector, nil when none.
+func (n *Network) Faults() *fault.Injector { return n.faults }
 
 // CacheAddresses replaces p's host cache with the given addresses (the
 // result of a Ping/Pong exchange). Duplicates and p itself are dropped.
@@ -445,6 +593,8 @@ func (n *Network) AverageDegree() float64 {
 }
 
 // IsConnected reports whether all live peers form one component.
+// Half-open references to crashed peers carry no traffic and are
+// skipped.
 func (n *Network) IsConnected() bool {
 	peers := n.AlivePeers()
 	if len(peers) <= 1 {
@@ -456,7 +606,7 @@ func (n *Network) IsConnected() bool {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, v := range n.nbr[u] {
-			if !seen[v] {
+			if n.alive[v] && !seen[v] {
 				seen[v] = true
 				stack = append(stack, v)
 			}
@@ -473,12 +623,13 @@ type Edge struct {
 
 // SnapshotEdges returns every live connection once (P < Q), sorted, with
 // costs — used for serialization and invariant checks. Sortedness falls
-// out of the sorted adjacency representation.
+// out of the sorted adjacency representation; half-open references to
+// crashed peers are not live connections and are skipped.
 func (n *Network) SnapshotEdges() []Edge {
 	out := make([]Edge, 0, n.edges)
 	for p := range n.nbr {
 		for _, q := range n.nbr[p] {
-			if PeerID(p) < q {
+			if PeerID(p) < q && n.alive[p] && n.alive[q] {
 				out = append(out, Edge{P: PeerID(p), Q: q, Cost: n.Cost(PeerID(p), q)})
 			}
 		}
