@@ -96,6 +96,9 @@ type Options struct {
 	Depth int
 	// Policy is the Phase-3 policy (default PolicyRandom).
 	Policy Policy
+	// Shards selects the round engine: 0 (default) serial, >0 that many
+	// shards, -1 one shard per GOMAXPROCS. See core.Config.Shards.
+	Shards int
 }
 
 // Option mutates Options.
@@ -117,6 +120,10 @@ func WithDepth(h int) Option { return func(o *Options) { o.Depth = h } }
 
 // WithPolicy sets the Phase-3 replacement policy.
 func WithPolicy(p Policy) Option { return func(o *Options) { o.Policy = p } }
+
+// WithShards selects the sharded round engine: s shards (-1 for one per
+// GOMAXPROCS, 0 for the serial engine).
+func WithShards(s int) Option { return func(o *Options) { o.Shards = s } }
 
 // NewSystem builds a deployment: a locality-aware BA physical topology,
 // a small-world power-law overlay attached to it, and an ACE optimizer
@@ -144,6 +151,7 @@ func NewSystem(opts ...Option) (*System, error) {
 	// 4x leaves optimization headroom yet still bounds the degree pump
 	// under churn.
 	cfg.MaxDegree = 4 * o.AvgDegree
+	cfg.Shards = o.Shards
 	opt, err := core.NewOptimizer(env.Net, cfg)
 	if err != nil {
 		return nil, err

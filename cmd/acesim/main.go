@@ -48,6 +48,7 @@ func main() {
 	steps := flag.Int("steps", 12, "ACE rounds")
 	queries := flag.Int("queries", 50, "queries sampled per step")
 	policyName := flag.String("policy", "random", "random | naive | closest")
+	shards := flag.Int("shards", 0, "sharded round engine: shard count (0 serial, -1 GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-round phase timings and query means")
 	metricsPath := flag.String("metrics", "", "write per-round/per-query JSONL records to this file")
 	debugAddr := flag.String("debug", "", "serve pprof and the obs registry on this address (e.g. :6060)")
@@ -133,6 +134,7 @@ func main() {
 		ace.WithAvgDegree(*c),
 		ace.WithDepth(*depth),
 		ace.WithPolicy(policy),
+		ace.WithShards(*shards),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "acesim:", err)
@@ -228,6 +230,10 @@ func main() {
 			fmt.Printf("      round %d: rebuild %.2fms  phase3 %.2fms  repair %.2fms  probes %d  exchange %.0f\n",
 				k, float64(rep.RebuildNanos)/1e6, float64(rep.Phase3Nanos)/1e6,
 				float64(rep.RepairNanos)/1e6, rep.Probes, rep.ExchangeCost)
+			if rep.Shards > 0 {
+				fmt.Printf("      shards %d: merge %.2fms  imbalance %.1f%%\n",
+					rep.Shards, float64(rep.MergeNanos)/1e6, 100*rep.ShardImbalance)
+			}
 			if inj != nil || rep.PurgedEdges > 0 {
 				fmt.Printf("      faults: retries %d  timeouts %d  stale %d/%d  blacklist %d  dial-fail %d  purged %d\n",
 					rep.ProbeRetries, rep.ProbeTimeouts, rep.StaleMarked, rep.StaleExpired,

@@ -101,6 +101,18 @@ type Config struct {
 	// one.
 	MaxDegree int
 
+	// Shards selects the round engine. 0 (the default) runs the serial
+	// engine. A positive value runs the sharded engine of shard.go with
+	// that many shards — peers partition into contiguous PeerID ranges,
+	// Phase 1/2 sweeps and the Phase-3 propose pass fan out across them,
+	// and overlay mutations apply through the serial seed-keyed merge.
+	// −1 sizes the shard count to runtime.GOMAXPROCS. Sharded rounds are
+	// bit-identical across shard counts (Shards=k matches Shards=1 for
+	// every k), but the sharded engine's Phase-3 propose/merge split is a
+	// different — equally protocol-faithful — trajectory than the serial
+	// engine's in-place Phase 3; see DESIGN.md §5e.
+	Shards int
+
 	// RebuildFraction is the dirty-region share of the live population
 	// above which RebuildTrees abandons the incremental path and
 	// rebuilds every peer (walking a dirty set close to N costs more
@@ -217,6 +229,9 @@ func (c Config) validate() error {
 	}
 	if c.RebuildFraction < 0 {
 		return fmt.Errorf("core: negative RebuildFraction")
+	}
+	if c.Shards < -1 {
+		return fmt.Errorf("core: Shards %d, need >= -1", c.Shards)
 	}
 	if c.ProbeRetryBudget < 0 || c.ProbeBackoffCap < 0 || c.StaleTTL < 0 ||
 		c.BlacklistAfter < 0 || c.BlacklistBase < 0 || c.BlacklistCap < 0 {

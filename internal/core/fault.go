@@ -1,6 +1,7 @@
 package core
 
 import (
+	"ace/internal/fault"
 	"ace/internal/overlay"
 )
 
@@ -101,53 +102,91 @@ func (o *Optimizer) faultPhase(peers []overlay.PeerID, report *StepReport) {
 	// target, retrying on timeout. The first attempt is already priced
 	// into the exchange contribution; only retries pay extra. A target
 	// nobody reached this cycle ages toward StaleTTL.
+	//
+	// Targets are independent (each target's pass writes only its own
+	// staleFor/excluded slots and reads frozen network state), so the
+	// sharded engine fans the sweep out across shards; the serial path
+	// runs the same per-target body through shard 0's accumulators, and
+	// foldSweep re-serializes both into the legacy accumulation order.
 	retries := o.retryLimit()
 	ttl := o.staleTTL()
+	if s := o.shardCount(); s > 1 {
+		o.probeSweepSharded(peers, inj, retries, ttl, s, report)
+		return
+	}
+	sh := o.ensureShards(1)[0]
+	sh.resetSweep()
 	for _, b := range peers {
-		probers := o.net.NeighborsView(b)
-		reached := len(probers) == 0 // an isolated peer has no entries to go stale
-		for _, a := range probers {
-			if !o.net.Alive(a) {
-				continue
-			}
-			cab := -1.0
-			for k := 0; k <= retries; k++ {
-				if k > 0 {
-					if cab < 0 {
-						cab = o.net.CostsFrom(a).To(b)
-					}
-					report.ProbeRetries++
-					report.ProbeTraffic += o.cfg.ProbeCost * cab
-				}
-				if !inj.ProbeTimeout(int(a), int(b), k) {
-					reached = true
-					break
-				}
-			}
-		}
-		if reached {
-			if o.staleFor[b] != 0 {
-				o.staleFor[b] = 0
-				if o.excluded[b] {
-					o.excluded[b] = false
-					o.exclFlips = append(o.exclFlips, b)
-				}
-			}
+		o.probeOneTarget(b, inj, retries, ttl, sh)
+	}
+	o.foldSweep(sh, report)
+}
+
+// probeOneTarget runs one target's share of the Phase-1 probe/staleness
+// protocol, accumulating into the shard's sweep buffers. It writes only
+// b's staleFor/excluded slots, so targets can run concurrently as long
+// as no two shards share a target.
+func (o *Optimizer) probeOneTarget(b overlay.PeerID, inj *fault.Injector, retries int, ttl int32, sh *shardState) {
+	probers := o.net.NeighborsView(b)
+	reached := len(probers) == 0 // an isolated peer has no entries to go stale
+	for _, a := range probers {
+		if !o.net.Alive(a) {
 			continue
 		}
-		report.ProbeTimeouts++
-		o.staleFor[b]++
-		switch {
-		case o.staleFor[b] == 1:
-			report.StaleMarked++
-		case o.staleFor[b] == ttl:
-			report.StaleExpired++
-		}
-		if o.staleFor[b] >= ttl && !o.excluded[b] {
-			o.excluded[b] = true
-			o.exclFlips = append(o.exclFlips, b)
+		cab := -1.0
+		for k := 0; k <= retries; k++ {
+			if k > 0 {
+				if cab < 0 {
+					cab = o.net.CostsFrom(a).To(b)
+				}
+				sh.retries++
+				sh.retryCosts = append(sh.retryCosts, o.cfg.ProbeCost*cab)
+			}
+			if !inj.ProbeTimeout(int(a), int(b), k) {
+				reached = true
+				break
+			}
 		}
 	}
+	if reached {
+		if o.staleFor[b] != 0 {
+			o.staleFor[b] = 0
+			if o.excluded[b] {
+				o.excluded[b] = false
+				sh.flips = append(sh.flips, b)
+			}
+		}
+		return
+	}
+	sh.timeouts++
+	o.staleFor[b]++
+	switch {
+	case o.staleFor[b] == 1:
+		sh.staleMarked++
+	case o.staleFor[b] == ttl:
+		sh.staleExpired++
+	}
+	if o.staleFor[b] >= ttl && !o.excluded[b] {
+		o.excluded[b] = true
+		sh.flips = append(sh.flips, b)
+	}
+}
+
+// foldSweep folds one shard's sweep accumulators into the report and the
+// optimizer's exclusion-flip list. Retry costs were captured one per
+// retry in target order, and shards own ascending contiguous ranges of
+// the ascending live-peer slice, so folding shards in order reproduces
+// the serial engine's float additions term for term — sharded Phase 1
+// stays bit-identical to serial.
+func (o *Optimizer) foldSweep(sh *shardState, report *StepReport) {
+	report.ProbeRetries += sh.retries
+	report.ProbeTimeouts += sh.timeouts
+	report.StaleMarked += sh.staleMarked
+	report.StaleExpired += sh.staleExpired
+	for _, c := range sh.retryCosts {
+		report.ProbeTraffic += c
+	}
+	o.exclFlips = append(o.exclFlips, sh.flips...)
 }
 
 // blacklisted reports whether h currently sits on the dial blacklist.

@@ -89,10 +89,13 @@ func requireSameStates(t *testing.T, round int, inc, full *Optimizer, n int) {
 }
 
 // stripTiming zeroes the wall-clock phase fields, which legitimately
-// differ between runs; everything else in a StepReport must match
-// bit-for-bit.
+// differ between runs, plus the shard-layout fields (shard count and
+// rebuild imbalance are functions of the configured shard count, which
+// the sharded determinism tests deliberately vary); everything else in
+// a StepReport must match bit-for-bit.
 func stripTiming(r StepReport) StepReport {
-	r.RebuildNanos, r.Phase3Nanos, r.RepairNanos = 0, 0, 0
+	r.RebuildNanos, r.Phase3Nanos, r.RepairNanos, r.MergeNanos = 0, 0, 0, 0
+	r.Shards, r.ShardImbalance = 0, 0
 	return r
 }
 

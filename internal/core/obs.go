@@ -36,6 +36,15 @@ var (
 	cAbandoned    = obs.NewCounter("ace.core.phase3.abandoned")
 	cRepairs      = obs.NewCounter("ace.core.repair.connects")
 
+	// Sharded-engine instruments (ace.core.shard.*): per-shard peer and
+	// rebuild counts per fan-out, the serial cross-shard merge span, and
+	// the rebuild imbalance (max-shard excess over the even split, in
+	// percent) per round.
+	hShardPeers     = obs.NewHistogram("ace.core.shard.peers")
+	hShardRebuilt   = obs.NewHistogram("ace.core.shard.rebuilt")
+	spanShardMerge  = obs.NewSpan("ace.core.shard.merge_nanos")
+	hShardImbalance = obs.NewHistogram("ace.core.shard.imbalance")
+
 	// Fault-reaction counters (ace.fault.*): how the protocol responded
 	// to injected faults and crash debris. The injection-side tallies
 	// (ace.fault.injected.*) are always-on counters owned by the

@@ -38,11 +38,13 @@ type Optimizer struct {
 	pending map[overlay.PeerID]map[overlay.PeerID]pendingCut
 
 	// contrib caches each built peer's exchange-cost contribution (its
-	// per-cycle probe + table traffic). It changes exactly when the
-	// peer's state is rebuilt — a changed neighbor list makes the peer a
-	// journal endpoint, hence dirty — so exchangeCost is a sum over the
-	// live population instead of an O(edges) oracle sweep per round.
-	contrib map[overlay.PeerID]float64
+	// per-cycle probe + table traffic), dense-indexed by id like o.state
+	// (stale entries of dead peers are zeroed with their state). It
+	// changes exactly when the peer's state is rebuilt — a changed
+	// neighbor list makes the peer a journal endpoint, hence dirty — so
+	// exchangeCost is a flat sum over the live population instead of an
+	// O(edges) oracle sweep per round.
+	contrib []float64
 
 	// cursor is the journal position o.state reflects; synced holds off
 	// the incremental path until the first full rebuild exists.
@@ -50,27 +52,33 @@ type Optimizer struct {
 	synced bool
 	stats  RebuildStats
 
-	// rev is the reverse closure index: rev[m] lists the peers whose
-	// last-built closure contains m, flagged interior when m sits at
-	// depth ≤ h−1 (only interior members can propagate an edge change
-	// into the closure; see dirtyRegion). It is maintained from the same
-	// journal-driven commits that update o.state, so both always describe
-	// the same rebuild generation. Stale postings (generation mismatch)
-	// accumulate until they outnumber live ones, then one linear sweep
-	// compacts every list — O(1) amortized per posting.
-	rev      [][]revEntry
-	revGen   []uint32
-	revLive  int // postings whose generation is current
-	revTotal int // postings physically present, stale included
+	// rev is the reverse closure index (see revindex.go): rev.forEach(m)
+	// visits the peers whose last-built closure contains m, flagged
+	// interior when m sits at depth ≤ h−1 (only interior members can
+	// propagate an edge change into the closure; see dirtyRegion). It is
+	// maintained from the same journal-driven commits that update
+	// o.state, so both always describe the same rebuild generation.
+	rev revIndex
 
 	// Scratch buffers reused across rounds; valid only single-threaded.
 	aliveBuf []overlay.PeerID
 	dirtyBuf []overlay.PeerID
 	candBuf  []overlay.PeerID
 	ownerBuf []overlay.PeerID
+	dirtySet peerBitset
 
 	// scratch holds one buildState arena per rebuild worker.
 	scratch []*buildScratch
+
+	// Sharded-engine state (see shard.go): per-shard arenas, the
+	// proposal buffer of the Phase-3 propose/merge split, the per-peer
+	// probe-traffic slots whose serial fold keeps the float accumulation
+	// independent of the shard count, and the last rebuild's imbalance.
+	shardPool     []*shardState
+	propBuf       []proposal
+	peerTraffic   []float64
+	spanBuf       [][2]int
+	lastImbalance float64
 
 	// Fault-hardening state (see fault.go); all of it stays nil/zero —
 	// and costs nothing — until a fault.Injector is attached to the
@@ -99,19 +107,6 @@ type RebuildStats struct {
 type pendingCut struct {
 	h   overlay.PeerID
 	ttl int
-}
-
-// revEntry is one reverse-closure posting: peer p's last-built closure
-// contains the indexing member, at depth ≤ Depth−1 when interior. The
-// posting is live only while gen matches p's current rebuild generation;
-// rebuilding or dropping p bumps the generation, invalidating all its
-// postings at once instead of scanning them out of every member's list
-// (members are disproportionately hubs, making eager removal the same
-// quadratic trap the index exists to avoid).
-type revEntry struct {
-	p        overlay.PeerID
-	gen      uint32
-	interior bool
 }
 
 // PendingTTL is how many rounds a Figure-4(c) tentative link survives
@@ -155,10 +150,21 @@ type StepReport struct {
 	// to attribute cost (differential tests zero these before comparing).
 	// The values are measured by the ace.core.round.{rebuild,phase3,
 	// repair} obs spans, whose histograms accumulate the same numbers
-	// when the registry is enabled.
+	// when the registry is enabled. Each span wraps its entire phase
+	// end-to-end, OUTSIDE any shard fan-out: under the sharded engine a
+	// phase's nanos bound the slowest shard (elapsed time), never the sum
+	// of per-shard CPU time, so the three fields always add up to at most
+	// the round's wall-clock duration. Pinned by
+	// TestStepReportNanosAreWallClock.
 	RebuildNanos int64 // Phases 1–2: state sync + exchange pricing
 	Phase3Nanos  int64 // pending cuts + the per-peer replacement policy
 	RepairNanos  int64 // MinDegree repair
+
+	// Sharded-engine diagnostics; all zero when the serial engine ran
+	// the round (Config.Shards == 0).
+	Shards         int     // shard count the round executed with
+	MergeNanos     int64   // serial cross-shard merge, within Phase3Nanos
+	ShardImbalance float64 // max shard's states built over the mean, −1
 }
 
 // NewOptimizer validates cfg and attaches an optimizer to net. No state
@@ -172,7 +178,7 @@ func NewOptimizer(net *overlay.Network, cfg Config) (*Optimizer, error) {
 		cfg:     cfg,
 		state:   make([]*PeerState, net.N()),
 		pending: make(map[overlay.PeerID]map[overlay.PeerID]pendingCut),
-		contrib: make(map[overlay.PeerID]float64),
+		contrib: make([]float64, net.N()),
 	}, nil
 }
 
@@ -239,10 +245,7 @@ func (o *Optimizer) rebuild(peers []overlay.PeerID) {
 	}
 	clear(o.state)
 	clear(o.contrib)
-	for i := range o.rev {
-		o.rev[i] = o.rev[i][:0]
-	}
-	o.revLive, o.revTotal = 0, 0
+	o.rev.reset()
 	o.buildStates(peers)
 	o.stats.Full++
 	cRebuildFull.Inc()
@@ -271,7 +274,13 @@ func (o *Optimizer) rebuild(peers []overlay.PeerID) {
 // nothing about: an excluded peer vanishes from — or a readmitted one
 // reappears in — every closure that held it at ANY depth, so flips mark
 // all live postings, not just interior ones.
-func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) map[overlay.PeerID]bool {
+//
+// The returned set is the reusable o.dirtySet bitset, valid until the
+// next dirtyRegion call. Under the sharded engine the posting scan fans
+// out across shards (shard.go); the union of per-shard bitsets is
+// order-free, so the resolved set — and therefore the fallback decision
+// — is identical for every shard count and goroutine schedule.
+func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) *peerBitset {
 	frac := o.cfg.RebuildFraction
 	if frac == 0 {
 		frac = DefaultRebuildFraction
@@ -284,67 +293,54 @@ func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) map[overlay.
 	}
 
 	sparse := o.cfg.SparseKnowledge
-	dirty := make(map[overlay.PeerID]bool, 4*len(events))
+	dirty := &o.dirtySet
+	dirty.reset(o.net.N())
 	endpoints := o.dirtyBuf[:0]
 	for _, ev := range events {
-		if !dirty[ev.P] {
-			dirty[ev.P] = true
+		if dirty.set(ev.P) {
 			endpoints = append(endpoints, ev.P)
 		}
-		if ev.Q >= 0 && !dirty[ev.Q] {
-			dirty[ev.Q] = true
+		if ev.Q >= 0 && dirty.set(ev.Q) {
 			endpoints = append(endpoints, ev.Q)
 		}
 	}
 	o.dirtyBuf = endpoints[:0]
-	if len(dirty) > limit {
-		return nil
-	}
-	for _, e := range endpoints {
-		if int(e) >= len(o.rev) {
-			continue // joined after the last rebuild; nobody holds it yet
-		}
-		for _, ent := range o.rev[e] {
-			if ent.gen == o.revGen[ent.p] && (ent.interior || sparse) {
-				dirty[ent.p] = true
-			}
-		}
-		if len(dirty) > limit {
-			return nil
+	if s := o.shardCount(); s > 1 && len(endpoints) >= 2*s {
+		o.scanPostingsSharded(dirty, endpoints, sparse, s)
+	} else {
+		for _, e := range endpoints {
+			o.rev.forEach(e, func(p overlay.PeerID, interior bool) {
+				if interior || sparse {
+					dirty.set(p)
+				}
+			})
 		}
 	}
 	for _, f := range o.exclFlips {
-		dirty[f] = true
-		if int(f) >= len(o.rev) {
-			continue
-		}
-		for _, ent := range o.rev[f] {
-			if ent.gen == o.revGen[ent.p] {
-				dirty[ent.p] = true
-			}
-		}
-		if len(dirty) > limit {
-			return nil
-		}
+		dirty.set(f)
+		o.rev.forEach(f, func(p overlay.PeerID, _ bool) { dirty.set(p) })
+	}
+	if dirty.count() > limit {
+		return nil
 	}
 	return dirty
 }
 
 // rebuildDirty drops state of departed peers and rebuilds the live dirty
 // region, leaving every other cached PeerState untouched.
-func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty map[overlay.PeerID]bool, peers []overlay.PeerID) {
+func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty *peerBitset, peers []overlay.PeerID) {
 	for _, ev := range events {
 		if ev.Kind == overlay.EventLeave || ev.Kind == overlay.EventCrash {
 			if old := o.state[ev.P]; old != nil {
-				o.revDrop(ev.P, old)
+				o.rev.drop(ev.P, old)
 			}
 			o.state[ev.P] = nil
-			delete(o.contrib, ev.P)
+			o.contrib[ev.P] = 0
 		}
 	}
 	list := o.dirtyBuf[:0]
 	for _, p := range peers {
-		if dirty[p] {
+		if dirty.has(p) {
 			list = append(list, p)
 		}
 	}
@@ -352,15 +348,21 @@ func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty map[overlay.PeerI
 	o.dirtyBuf = list[:0]
 	o.stats.Incremental++
 	cRebuildIncremental.Inc()
-	hDirtyRegion.Observe(uint64(len(dirty)))
+	hDirtyRegion.Observe(uint64(dirty.count()))
 }
 
-// buildStates runs Phases 1–2 for the listed peers over a worker pool
-// (the network is not mutated during a rebuild, and the distance oracle
-// is safe for concurrent reads), committing results and exchange
-// contributions in deterministic order.
+// buildStates runs Phases 1–2 for the listed peers in parallel (the
+// network is not mutated during a rebuild, and the distance oracle is
+// safe for concurrent reads), committing results and exchange
+// contributions in deterministic order. The serial engine distributes
+// work over a pool of GOMAXPROCS workers; the sharded engine assigns
+// each peer to the shard owning its id range (shard.go).
 func (o *Optimizer) buildStates(list []overlay.PeerID) {
 	if len(list) == 0 {
+		return
+	}
+	if s := o.shardCount(); s > 1 {
+		o.buildStatesSharded(list, s)
 		return
 	}
 	states := make([]*PeerState, len(list))
@@ -394,63 +396,33 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 		close(work)
 		wg.Wait()
 	}
-	if n := o.net.N(); len(o.rev) < n {
-		o.rev = append(o.rev, make([][]revEntry, n-len(o.rev))...)
-		o.revGen = append(o.revGen, make([]uint32, n-len(o.revGen))...)
+	o.commitStates(list, states)
+}
+
+// commitStates installs freshly built states in list order, maintaining
+// the reverse index and the cached exchange contributions. It is the
+// single commit path shared by the serial and sharded build fan-outs,
+// which is what makes their results indistinguishable: the parallel part
+// writes only disjoint slots of states, and everything order-sensitive
+// happens here, serially.
+func (o *Optimizer) commitStates(list []overlay.PeerID, states []*PeerState) {
+	if n := o.net.N(); len(o.state) < n {
 		o.state = append(o.state, make([]*PeerState, n-len(o.state))...)
+		o.contrib = append(o.contrib, make([]float64, n-len(o.contrib))...)
 	}
+	o.rev.ensure(o.net.N())
+	interiorMax := int32(o.cfg.Depth - 1)
 	for i, p := range list {
 		if old := o.state[p]; old != nil {
-			o.revDrop(p, old)
+			o.rev.drop(p, old)
 		}
-		o.revAdd(p, states[i])
+		o.rev.add(p, states[i], interiorMax)
 		o.state[p] = states[i]
 		o.contrib[p] = o.exchangeContribution(p, states[i])
 	}
-	if o.revTotal > 2*o.revLive+64 {
-		o.compactRev()
-	}
+	o.rev.compactIfNeeded()
 	o.stats.PeersRebuilt += len(list)
 	cPeersRebuilt.Add(uint64(len(list)))
-}
-
-// revDrop invalidates every posting p owns by bumping its generation.
-func (o *Optimizer) revDrop(p overlay.PeerID, st *PeerState) {
-	o.revGen[p]++
-	o.revLive -= len(st.Closure)
-}
-
-// revAdd posts p under every member of its fresh closure, flagging the
-// members p holds strictly inside its horizon.
-func (o *Optimizer) revAdd(p overlay.PeerID, st *PeerState) {
-	g := o.revGen[p]
-	interiorMax := int32(o.cfg.Depth - 1)
-	for i, m := range st.Closure {
-		o.rev[m] = append(o.rev[m], revEntry{p: p, gen: g, interior: st.depth[i] <= interiorMax})
-	}
-	o.revLive += len(st.Closure)
-	o.revTotal += len(st.Closure)
-}
-
-// compactRev sweeps stale postings out of every list. It runs when they
-// outnumber the live ones, so the sweep touches at most 2× the postings
-// appended since the last compaction — O(1) amortized per posting — and
-// afterwards no generation can alias a surviving stale entry.
-func (o *Optimizer) compactRev() {
-	total := 0
-	for m := range o.rev {
-		l := o.rev[m]
-		k := 0
-		for _, ent := range l {
-			if ent.gen == o.revGen[ent.p] {
-				l[k] = ent
-				k++
-			}
-		}
-		o.rev[m] = l[:k]
-		total += k
-	}
-	o.revTotal = total
 }
 
 // exchangeContribution prices one peer's share of a cost-table exchange
@@ -487,7 +459,18 @@ func (o *Optimizer) exchangeCost(peers []overlay.PeerID) float64 {
 // Phase 3 (one replacement attempt per peer, per the configured policy).
 // The live-peer slice is computed once and threaded through the whole
 // round — rounds rewire edges but never change liveness.
+//
+// With Config.Shards != 0 the round runs on the sharded engine
+// (shard.go): Phase 3 splits into a parallel shard-local propose pass
+// against the frozen network and a serial cross-shard merge ordered by
+// seed-derived keys. Its outcome is a pure function of (state, seed) —
+// identical for every shard count — but not the same trajectory as this
+// serial engine, whose peers act on each other's mutations within the
+// round.
 func (o *Optimizer) Round(rng *sim.RNG) StepReport {
+	if s := o.shardCount(); s > 0 {
+		return o.roundSharded(rng, s)
+	}
 	// The obs spans are the single source of truth for phase timing:
 	// StepReport's nanos are each span's measured duration, and the same
 	// measurement lands in the registry histograms when observability is
@@ -737,7 +720,16 @@ func (o *Optimizer) resolvePending(a, b overlay.PeerID, report *StepReport) {
 // disproportionately often a hub. The returned slice is a reused scratch
 // buffer, valid until the next candidates call.
 func (o *Optimizer) candidates(a, b overlay.PeerID, report *StepReport) []overlay.PeerID {
-	out := o.candBuf[:0]
+	hits := 0
+	o.candBuf = o.candidatesInto(o.candBuf[:0], a, b, &hits)
+	report.BlacklistHits += hits
+	return o.candBuf
+}
+
+// candidatesInto is the allocation-free core of candidates, appending
+// into the caller's buffer and counting blacklist refusals into hits; the
+// sharded propose pass calls it with per-shard buffers.
+func (o *Optimizer) candidatesInto(out []overlay.PeerID, a, b overlay.PeerID, hits *int) []overlay.PeerID {
 	an := o.net.NeighborsView(a)
 	for _, h := range o.net.NeighborsView(b) {
 		for len(an) > 0 && an[0] < h {
@@ -748,13 +740,12 @@ func (o *Optimizer) candidates(a, b overlay.PeerID, report *StepReport) []overla
 		}
 		if h != a && o.net.Alive(h) && !o.atCap(h) {
 			if o.blacklisted(h) {
-				report.BlacklistHits++
+				*hits++
 				continue
 			}
 			out = append(out, h)
 		}
 	}
-	o.candBuf = out
 	return out
 }
 

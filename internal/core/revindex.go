@@ -1,0 +1,207 @@
+package core
+
+import (
+	"slices"
+
+	"ace/internal/overlay"
+)
+
+// revIndex is the reverse closure index: for each member m it lists the
+// peers whose last-built closure contains m, flagged interior when m sits
+// at depth ≤ h−1 (only interior members can propagate an edge change into
+// the closure; see dirtyRegion).
+//
+// The index is the optimizer's largest per-peer data structure — one
+// posting per (member, holder) pair, ~|closure| postings per peer — so
+// its layout is what bounds the engine's memory residency at large
+// populations. Postings live in two tiers:
+//
+//   - A compressed CSR base: one offset per member into a shared byte
+//     arena holding the member's postings as delta-encoded varints
+//     (holders sorted ascending, each value (delta<<1)|interior). A base
+//     posting carries no generation of its own: it is live exactly while
+//     its holder's generation still equals the snapshot taken when the
+//     base was built (baseGen), so invalidating a holder's postings is
+//     one counter bump, never a scan.
+//   - A small per-member overflow of packed 8-byte entries for postings
+//     added since the base was built. Overflow entries carry their
+//     holder's generation explicitly (a holder can be rebuilt several
+//     times between compactions).
+//
+// When stale postings outnumber live ones, one linear sweep folds both
+// tiers into a fresh base — O(1) amortized per posting, the same
+// discipline the previous slice-of-structs index used, at roughly 2
+// bytes per base posting instead of 16 plus slice overhead.
+type revIndex struct {
+	// gen[p] is holder p's current rebuild generation; bumping it
+	// invalidates every posting p owns.
+	gen []uint32
+	// baseGen[p] is p's generation when the CSR base was last built; a
+	// base posting of p is live iff gen[p] == baseGen[p].
+	baseGen []uint32
+	// baseOff/baseData are the CSR base: member m's postings are the
+	// varints in baseData[baseOff[m]:baseOff[m+1]].
+	baseOff  []uint32
+	baseData []byte
+	// extra[m] holds m's postings appended since the last base build.
+	extra [][]revPosting
+
+	live  int // postings whose holder generation is current
+	total int // postings physically present, stale included
+}
+
+// revPosting is one overflow posting: holder (with the interior flag in
+// the top bit) plus the holder's generation at append time.
+type revPosting struct {
+	holder uint32 // holder id | revInterior
+	gen    uint32
+}
+
+const revInterior = 1 << 31
+
+// ensure sizes the per-holder arrays for a population of n peers.
+func (ri *revIndex) ensure(n int) {
+	if len(ri.gen) >= n {
+		return
+	}
+	ri.gen = append(ri.gen, make([]uint32, n-len(ri.gen))...)
+	ri.baseGen = append(ri.baseGen, make([]uint32, n-len(ri.baseGen))...)
+	ri.extra = append(ri.extra, make([][]revPosting, n-len(ri.extra))...)
+}
+
+// reset drops every posting (the full-rebuild path). Generations are
+// kept: no posting survives, so nothing can alias them.
+func (ri *revIndex) reset() {
+	ri.baseOff = ri.baseOff[:0]
+	ri.baseData = ri.baseData[:0]
+	for m := range ri.extra {
+		ri.extra[m] = ri.extra[m][:0]
+	}
+	ri.live, ri.total = 0, 0
+}
+
+// add posts holder p under every member of its fresh closure, flagging
+// members p holds strictly inside its horizon (depth ≤ interiorMax).
+func (ri *revIndex) add(p overlay.PeerID, st *PeerState, interiorMax int32) {
+	g := ri.gen[p]
+	for i, m := range st.Closure {
+		h := uint32(p)
+		if st.depth[i] <= interiorMax {
+			h |= revInterior
+		}
+		ri.extra[m] = append(ri.extra[m], revPosting{holder: h, gen: g})
+	}
+	ri.live += len(st.Closure)
+	ri.total += len(st.Closure)
+}
+
+// drop invalidates every posting p owns by bumping its generation.
+func (ri *revIndex) drop(p overlay.PeerID, st *PeerState) {
+	ri.gen[p]++
+	ri.live -= len(st.Closure)
+}
+
+// forEach visits every live posting of member m in an order that is a
+// pure function of the index contents (base postings ascending, then
+// overflow in append order) — never of goroutine schedule, so parallel
+// dirty-region resolution stays deterministic.
+func (ri *revIndex) forEach(m overlay.PeerID, fn func(p overlay.PeerID, interior bool)) {
+	if int(m) < len(ri.baseOff)-1 {
+		data := ri.baseData[ri.baseOff[m]:ri.baseOff[m+1]]
+		prev := uint32(0)
+		for len(data) > 0 {
+			var v uint64
+			v, data = uvarint(data)
+			prev += uint32(v >> 1)
+			p := overlay.PeerID(prev)
+			if ri.gen[p] == ri.baseGen[p] {
+				fn(p, v&1 != 0)
+			}
+		}
+	}
+	if int(m) < len(ri.extra) {
+		for _, ent := range ri.extra[m] {
+			p := overlay.PeerID(ent.holder &^ revInterior)
+			if ent.gen == ri.gen[p] {
+				fn(p, ent.holder&revInterior != 0)
+			}
+		}
+	}
+}
+
+// compactIfNeeded rebuilds the CSR base when stale postings outnumber
+// live ones, so the sweep touches at most 2× the postings appended since
+// the last compaction.
+func (ri *revIndex) compactIfNeeded() {
+	if ri.total > 2*ri.live+64 {
+		ri.compact()
+	}
+}
+
+// compact folds base + overflow into a fresh CSR base holding exactly
+// the live postings, sorted by holder per member for small deltas.
+func (ri *revIndex) compact() {
+	n := len(ri.extra)
+	off := ri.baseOff
+	if cap(off) < n+1 {
+		off = make([]uint32, n+1)
+	}
+	off = off[:n+1]
+
+	// One reusable bucket collects a member's live holders; members are
+	// processed in order and written straight into the new arena. off may
+	// alias ri.baseOff, so member m's old postings are collected before
+	// off[m] overwrites the old offset (forEach(m) reads baseOff[m] and
+	// baseOff[m+1], both still untouched at that point).
+	data := make([]byte, 0, 3*ri.live)
+	bucket := make([]uint32, 0, 64)
+	total := 0
+	for m := 0; m < n; m++ {
+		bucket = bucket[:0]
+		ri.forEach(overlay.PeerID(m), func(p overlay.PeerID, interior bool) {
+			h := uint32(p) << 1
+			if interior {
+				h |= 1
+			}
+			bucket = append(bucket, h)
+		})
+		off[m] = uint32(len(data))
+		slices.Sort(bucket)
+		prev := uint32(0)
+		for _, h := range bucket {
+			delta := (h >> 1) - prev
+			prev = h >> 1
+			data = putUvarint(data, uint64(delta<<1|h&1))
+		}
+		total += len(bucket)
+		ri.extra[m] = ri.extra[m][:0]
+	}
+	off[n] = uint32(len(data))
+	ri.baseOff, ri.baseData = off, data
+	copy(ri.baseGen, ri.gen)
+	ri.total = total
+	ri.live = total
+}
+
+// uvarint decodes one unsigned varint from data, returning the value and
+// the remaining bytes. Postings are always written by putUvarint, so the
+// input is well-formed by construction.
+func uvarint(data []byte) (uint64, []byte) {
+	var v uint64
+	for i := 0; ; i++ {
+		b := data[i]
+		v |= uint64(b&0x7f) << (7 * i)
+		if b < 0x80 {
+			return v, data[i+1:]
+		}
+	}
+}
+
+// putUvarint appends v to data in LEB128 form.
+func putUvarint(data []byte, v uint64) []byte {
+	for v >= 0x80 {
+		data = append(data, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(data, byte(v))
+}

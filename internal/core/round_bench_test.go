@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"ace/internal/overlay"
@@ -99,6 +100,65 @@ func (s *benchSystem) churnPeers(k int) {
 	}
 }
 
+// churnPeersUniform is churnPeers with JoinUniform rejoins: at 100k+
+// peers Join's full-population bootstrap shuffle would cost more than
+// the round being measured.
+func (s *benchSystem) churnPeersUniform(k int) {
+	for j := 0; j < k; j++ {
+		p := overlay.PeerID(s.churn.Intn(s.net.N()))
+		if s.net.Alive(p) {
+			s.net.Leave(p)
+		}
+		s.net.JoinUniform(s.churn, p, 6)
+	}
+}
+
+// getShardBenchSystem is the sharded-round fixture: nPeers attached to a
+// physical topology of physN nodes (shared attachment points past 10k
+// peers — the oracle's all-pairs cache is what bounds feasible physical
+// size, not the overlay), driven to dynamic steady state like the
+// n=1000 round fixture but with fewer priming rounds at the larger
+// scales where each costs more.
+func getShardBenchSystem(b *testing.B, nPeers, physN, shards, prime int) *benchSystem {
+	b.Helper()
+	key := fmt.Sprintf("shard/%d/%d/%d", nPeers, physN, shards)
+	if s, ok := benchSystems[key]; ok {
+		return s
+	}
+	rng := sim.NewRNG(int64(nPeers) + 31)
+	phys, err := topology.GenerateBA(rng.Derive("phys"), topology.DefaultBASpec(physN))
+	if err != nil {
+		b.Fatal(err)
+	}
+	attach := make([]int, nPeers)
+	arng := rng.Derive("attach")
+	for i := range attach {
+		attach[i] = arng.Intn(physN)
+	}
+	net, err := overlay.NewNetwork(physical.NewOracle(phys.Graph, 0), attach)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := overlay.GenerateRandom(rng.Derive("gen"), net, 6); err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.MaxDegree = 24
+	cfg.Shards = shards
+	opt, err := NewOptimizer(net, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &benchSystem{net: net, opt: opt, churn: rng.Derive("churn")}
+	prng := sim.NewRNG(7)
+	for i := 0; i < prime; i++ {
+		s.churnPeersUniform(2)
+		s.opt.Round(prng)
+	}
+	benchSystems[key] = s
+	return s
+}
+
 func benchmarkRebuild(b *testing.B, nPeers, h, churn int, noInc bool) {
 	s := getBenchSystem(b, nPeers, h, noInc)
 	before := s.opt.RebuildStats()
@@ -162,22 +222,69 @@ func BenchmarkRoundChurn(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			s := getRoundBenchSystem(b, noInc)
-			rng := sim.NewRNG(99)
-			var rebuildNs, phase3Ns, repairNs int64
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				s.churnPeers(2)
-				b.StartTimer()
-				rep := s.opt.Round(rng)
-				rebuildNs += rep.RebuildNanos
-				phase3Ns += rep.Phase3Nanos
-				repairNs += rep.RepairNanos
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(rebuildNs)/float64(b.N), "rebuild-ns/op")
-			b.ReportMetric(float64(phase3Ns)/float64(b.N), "phase3-ns/op")
-			b.ReportMetric(float64(repairNs)/float64(b.N), "repair-ns/op")
+			benchmarkRounds(b, s, 2, false)
 		})
 	}
+	// Sharded sweep at 10k peers (shards0 is the serial engine on the
+	// same fixture): scripts/bench.sh -shards emits this as the
+	// speedup-vs-shards curve. On a multi-core host the fan-out phases
+	// scale with the shard count; on one core the curve instead prices
+	// the sharding machinery's overhead.
+	for _, shards := range []int{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("n10000/shards%d", shards), func(b *testing.B) {
+			s := getShardBenchSystem(b, 10000, 10000, shards, 30)
+			benchmarkRounds(b, s, 4, true)
+		})
+	}
+	// The 100k-peer target scale of the sharded engine. Attachment
+	// points are shared (8192 physical nodes) and churn joins uniformly:
+	// both keep fixture costs out of the measured round. 15 priming
+	// rounds reach dynamic steady state — at benchtime 1x (CI smoke) a
+	// single iteration would otherwise measure the convergence tail,
+	// where the rewiring rate and hence the merge are several× steady.
+	b.Run("n100000", func(b *testing.B) {
+		s := getShardBenchSystem(b, 100000, 8192, 8, 15)
+		benchmarkRounds(b, s, 10, true)
+	})
+}
+
+// benchmarkRounds drives churn+Round iterations on a steady-state
+// fixture, attributing per-phase (and, sharded, merge) nanos.
+func benchmarkRounds(b *testing.B, s *benchSystem, churn int, uniform bool) {
+	rng := sim.NewRNG(99)
+	var rebuildNs, phase3Ns, repairNs, mergeNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if uniform {
+			s.churnPeersUniform(churn)
+		} else {
+			s.churnPeers(churn)
+		}
+		b.StartTimer()
+		rep := s.opt.Round(rng)
+		rebuildNs += rep.RebuildNanos
+		phase3Ns += rep.Phase3Nanos
+		repairNs += rep.RepairNanos
+		mergeNs += rep.MergeNanos
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rebuildNs)/float64(b.N), "rebuild-ns/op")
+	b.ReportMetric(float64(phase3Ns)/float64(b.N), "phase3-ns/op")
+	b.ReportMetric(float64(repairNs)/float64(b.N), "repair-ns/op")
+	if mergeNs > 0 {
+		b.ReportMetric(float64(mergeNs)/float64(b.N), "merge-ns/op")
+	}
+}
+
+// BenchmarkRoundMillion is the million-peer demonstration round
+// (EXPERIMENTS.md §sharded). It allocates several GB and takes minutes
+// to prime, so it only runs when ACE_BENCH_MILLION=1 is exported; CI's
+// benchtime-1x smoke skips it.
+func BenchmarkRoundMillion(b *testing.B) {
+	if os.Getenv("ACE_BENCH_MILLION") != "1" {
+		b.Skip("set ACE_BENCH_MILLION=1 to run the 1M-peer round")
+	}
+	s := getShardBenchSystem(b, 1000000, 4096, 8, 10)
+	benchmarkRounds(b, s, 20, true)
 }

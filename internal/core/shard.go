@@ -1,0 +1,631 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+	"slices"
+	"sync"
+
+	"ace/internal/fault"
+	"ace/internal/obs"
+	"ace/internal/overlay"
+	"ace/internal/sim"
+)
+
+// This file is the sharded round engine. Peers are partitioned into
+// contiguous PeerID ranges, one per shard, and each phase's per-peer
+// work runs shard-local against a frozen view of the network:
+//
+//   - Phase 1 (probe/staleness sweep, fault.go) and the dirty-region
+//     posting scan fan out across shards and re-serialize into the exact
+//     accumulation order of the serial engine — bit-identical results.
+//   - Phase 2 (closure + MST builds) partitions the rebuild list by
+//     shard ownership; states are pure functions of the frozen network,
+//     and the serial commit path orders every side effect.
+//   - Phase 3 splits into a parallel PROPOSE pass — each peer selects
+//     and probes its replacement candidate against the frozen network,
+//     drawing randomness from a per-peer splitmix64 stream — and a
+//     serial MERGE that revalidates and applies the proposals in an
+//     order keyed by splitmix64(seed, proposer, target). Every decision
+//     is a pure function of (frozen state, round seed, peer id), so the
+//     outcome is identical for every shard count and every goroutine
+//     schedule; determinism tests compare shard counts 2, 5 and 8
+//     against the single-shard run under -race.
+//
+// The propose/merge split is also the faithful reading of the paper's
+// protocol: real ACE peers run Phase 3 concurrently against the state
+// they observed at the last exchange, and conflicting rewires are
+// resolved by whoever commits first — here, deterministically, by merge
+// key. The serial engine (Config.Shards == 0) instead applies each
+// peer's step immediately, so the two engines produce different (both
+// valid) trajectories; DESIGN.md §5e discusses the divergence.
+
+// splitmix64 discipline shared with internal/fault: decisions hash
+// (seed, ids) so outcomes depend only on inputs, never on goroutine
+// schedule or shard boundaries.
+const golden = 0x9e3779b97f4a7c15
+
+// sm is the splitmix64 finalizer.
+func sm(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// splitRNG is a zero-allocation splitmix64 stream. Each proposing peer
+// gets its own stream seeded from (round seed, peer id), so its draws
+// are independent of every other peer's and of the shard layout.
+type splitRNG struct{ s uint64 }
+
+// next returns the next 64 uniform bits.
+func (r *splitRNG) next() uint64 {
+	r.s += golden
+	return sm(r.s)
+}
+
+// intn returns a draw from [0, n). The modulo bias is below 2⁻⁵⁰ for the
+// neighbor-list sizes drawn here, far under the simulation's noise
+// floor.
+func (r *splitRNG) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// peerBitset is a reusable dense bitset over peer ids.
+type peerBitset struct {
+	words []uint64
+}
+
+// reset clears the set and sizes it for n peers.
+func (bs *peerBitset) reset(n int) {
+	w := (n + 63) / 64
+	if cap(bs.words) < w {
+		bs.words = make([]uint64, w)
+		return
+	}
+	bs.words = bs.words[:w]
+	clear(bs.words)
+}
+
+// set marks p, reporting whether it was newly set.
+func (bs *peerBitset) set(p overlay.PeerID) bool {
+	w, b := int(p)>>6, uint64(1)<<(uint(p)&63)
+	if bs.words[w]&b != 0 {
+		return false
+	}
+	bs.words[w] |= b
+	return true
+}
+
+// has reports whether p is marked.
+func (bs *peerBitset) has(p overlay.PeerID) bool {
+	return bs.words[int(p)>>6]&(1<<(uint(p)&63)) != 0
+}
+
+// or merges other into the receiver; other must be same-sized.
+func (bs *peerBitset) or(other *peerBitset) {
+	for i, w := range other.words {
+		bs.words[i] |= w
+	}
+}
+
+// count returns the number of marked peers.
+func (bs *peerBitset) count() int {
+	n := 0
+	for _, w := range bs.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// shardState is one shard's private arena: scratch for closure builds,
+// a bitset for the posting scan, buffers for the probe sweep and the
+// Phase-3 propose pass. Nothing in it is read by another shard while a
+// fan-out is in flight.
+type shardState struct {
+	scratch buildScratch
+	dirty   peerBitset
+	candBuf []overlay.PeerID
+	props   []proposal
+
+	// Probe-sweep accumulators (fault.go). Retry costs are kept one per
+	// retry so the serial fold reproduces the serial engine's float
+	// additions exactly.
+	flips      []overlay.PeerID
+	retryCosts []float64
+	retries    int
+	timeouts   int
+	staleMarked,
+	staleExpired int
+
+	// Propose-pass accumulators (order-free integer sums).
+	probes, probeTimeouts, blacklistHits int
+
+	built int // states built in the last sharded rebuild
+}
+
+// resetSweep clears the probe-sweep accumulators.
+func (sh *shardState) resetSweep() {
+	sh.flips = sh.flips[:0]
+	sh.retryCosts = sh.retryCosts[:0]
+	sh.retries, sh.timeouts, sh.staleMarked, sh.staleExpired = 0, 0, 0, 0
+}
+
+// peerTally accumulates one proposing peer's probe activity. The float
+// traffic sum stays per-peer — its addition order is then a function of
+// the peer's own probe sequence only — and is folded into the report in
+// ascending peer order, so the round's total is bit-identical for every
+// shard count.
+type peerTally struct {
+	probes, timeouts, hits int
+	traffic                float64
+}
+
+// proposal is one peer's Phase-3 intent, produced against the frozen
+// network and applied (or rejected) by the serial merge.
+type proposal struct {
+	key     uint64         // merge order, sm(seed, a, b)
+	a, b, h overlay.PeerID // proposer, targeted neighbor, candidate
+	ah      float64        // probed a—h cost
+	kind    uint8
+}
+
+const (
+	// propFigure4 defers the Figure-4 triangle decision to the merge
+	// (random and closest policies).
+	propFigure4 uint8 = iota
+	// propNaive is the naive policy's pre-decided replacement: the
+	// candidate already beat the worst neighbor's cost at propose time.
+	propNaive
+)
+
+// shardCount resolves Config.Shards: 0 selects the serial engine, −1
+// sizes the shard count to GOMAXPROCS.
+func (o *Optimizer) shardCount() int {
+	s := o.cfg.Shards
+	if s < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s
+}
+
+// ensureShards returns s ready-to-use shard arenas.
+func (o *Optimizer) ensureShards(s int) []*shardState {
+	for len(o.shardPool) < s {
+		o.shardPool = append(o.shardPool, &shardState{})
+	}
+	return o.shardPool[:s]
+}
+
+// ownerSpans partitions an ascending peer list into s contiguous
+// subslices by shard ownership: shard k owns ids [k·c, (k+1)·c) with
+// c = ceil(N/s), a pure function of the population size — never of
+// liveness or list content — so a peer's owner is stable across rounds.
+// Concatenating the spans in shard order reproduces the input exactly,
+// which is what lets sharded sweeps re-serialize into the serial
+// engine's iteration order.
+func (o *Optimizer) ownerSpans(list []overlay.PeerID, s int) [][2]int {
+	if cap(o.spanBuf) < s {
+		o.spanBuf = make([][2]int, s)
+	}
+	spans := o.spanBuf[:s]
+	c := (o.net.N() + s - 1) / s
+	start := 0
+	for k := 0; k < s; k++ {
+		end := start
+		hi := (k + 1) * c
+		for end < len(list) && int(list[end]) < hi {
+			end++
+		}
+		spans[k] = [2]int{start, end}
+		start = end
+	}
+	return spans
+}
+
+// buildStatesSharded is the sharded Phase-1/2 build fan-out: each shard
+// constructs the states of the dirty peers it owns with its private
+// scratch arena, and the shared serial commit path installs them in
+// list order. States are pure functions of the frozen network, so the
+// result is bit-identical to the serial engine's.
+func (o *Optimizer) buildStatesSharded(list []overlay.PeerID, s int) {
+	states := make([]*PeerState, len(list))
+	shards := o.ensureShards(s)
+	spans := o.ownerSpans(list, s)
+	var wg sync.WaitGroup
+	maxBuilt := 0
+	for k := 0; k < s; k++ {
+		sh := shards[k]
+		sub := list[spans[k][0]:spans[k][1]]
+		out := states[spans[k][0]:spans[k][1]]
+		sh.built = len(sub)
+		if len(sub) > maxBuilt {
+			maxBuilt = len(sub)
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shardState, sub []overlay.PeerID, out []*PeerState) {
+			defer wg.Done()
+			for i, p := range sub {
+				out[i] = buildState(&sh.scratch, o.net, p, o.cfg.Depth, o.cfg.SparseKnowledge, o.excluded)
+			}
+		}(sh, sub, out)
+	}
+	wg.Wait()
+	o.lastImbalance = float64(maxBuilt)/(float64(len(list))/float64(s)) - 1
+	if obs.Enabled() {
+		for k := 0; k < s; k++ {
+			hShardRebuilt.Observe(uint64(shards[k].built))
+		}
+	}
+	o.commitStates(list, states)
+}
+
+// probeSweepSharded fans the Phase-1 probe/staleness sweep out across
+// shards. Each target is owned by exactly one shard (staleFor/excluded
+// writes stay disjoint) and folding the shard accumulators in shard
+// order reproduces the serial sweep bit for bit (see foldSweep).
+func (o *Optimizer) probeSweepSharded(peers []overlay.PeerID, inj *fault.Injector, retries int, ttl int32, s int, report *StepReport) {
+	shards := o.ensureShards(s)
+	spans := o.ownerSpans(peers, s)
+	var wg sync.WaitGroup
+	for k := 0; k < s; k++ {
+		sh := shards[k]
+		sh.resetSweep()
+		sub := peers[spans[k][0]:spans[k][1]]
+		if len(sub) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shardState, sub []overlay.PeerID) {
+			defer wg.Done()
+			for _, b := range sub {
+				o.probeOneTarget(b, inj, retries, ttl, sh)
+			}
+		}(sh, sub)
+	}
+	wg.Wait()
+	for k := 0; k < s; k++ {
+		o.foldSweep(shards[k], report)
+	}
+}
+
+// scanPostingsSharded resolves the reverse-index postings of the event
+// endpoints in parallel: endpoints are chunked across shards, each shard
+// marks holders in its private bitset, and the shard sets are OR-merged
+// into dst. Set union is order-free, so the resolved dirty region is
+// identical to the serial scan's for any shard count or schedule.
+func (o *Optimizer) scanPostingsSharded(dst *peerBitset, endpoints []overlay.PeerID, sparse bool, s int) {
+	shards := o.ensureShards(s)
+	n := o.net.N()
+	chunk := (len(endpoints) + s - 1) / s
+	var wg sync.WaitGroup
+	used := 0
+	for k := 0; k < s && k*chunk < len(endpoints); k++ {
+		sh := shards[k]
+		sh.dirty.reset(n)
+		sub := endpoints[k*chunk : min((k+1)*chunk, len(endpoints))]
+		used++
+		wg.Add(1)
+		go func(sh *shardState, sub []overlay.PeerID) {
+			defer wg.Done()
+			for _, e := range sub {
+				o.rev.forEach(e, func(p overlay.PeerID, interior bool) {
+					if interior || sparse {
+						sh.dirty.set(p)
+					}
+				})
+			}
+		}(sh, sub)
+	}
+	wg.Wait()
+	for k := 0; k < used; k++ {
+		dst.or(&shards[k].dirty)
+	}
+}
+
+// roundSharded is the sharded engine's Round. The phase structure — and
+// the phase spans, which wrap each fan-out end-to-end so StepReport's
+// nanos stay wall-clock — mirrors the serial engine; only Phase 3's
+// internals differ (propose/merge instead of in-place application).
+func (o *Optimizer) roundSharded(rng *sim.RNG, s int) StepReport {
+	sp := spanRebuild.Start()
+	peers := o.alivePeers()
+	report := StepReport{Shards: s}
+	o.lastImbalance = 0
+	o.faultPhase(peers, &report)
+	o.rebuild(peers)
+	cost := o.exchangeCost(peers)
+	o.totalOverhead += cost
+	report.ExchangeCost = cost
+	report.ShardImbalance = o.lastImbalance
+	report.RebuildNanos = sp.End()
+
+	sp = spanPhase3.Start()
+	o.executePendingCuts(&report)
+	// One serial draw seeds the whole sharded Phase 3; everything after
+	// derives per-peer streams and merge keys from it by pure hashing.
+	base := rng.Uint64()
+	o.proposePhase3(peers, base, s, &report)
+	msp := spanShardMerge.Start()
+	o.mergeProposals(base, s, &report)
+	report.MergeNanos = msp.End()
+	report.Phase3Nanos = sp.End()
+
+	sp = spanRepair.Start()
+	o.maintainMinDegree(rng, peers, &report)
+	report.RepairNanos = sp.End()
+	o.totalOverhead += report.ProbeTraffic
+	flushRoundObs(&report)
+	if obs.Enabled() && report.ShardImbalance > 0 {
+		hShardImbalance.Observe(uint64(report.ShardImbalance * 100))
+	}
+	return report
+}
+
+// proposePhase3 runs the parallel propose pass: each live peer selects
+// and probes its Phase-3 candidate against the frozen network under its
+// own splitmix64 stream, producing proposals and per-peer probe tallies.
+// The network is not mutated until mergeProposals.
+func (o *Optimizer) proposePhase3(peers []overlay.PeerID, base uint64, s int, report *StepReport) {
+	if cap(o.peerTraffic) < len(peers) {
+		o.peerTraffic = make([]float64, len(peers))
+	}
+	traffic := o.peerTraffic[:len(peers)]
+	shards := o.ensureShards(s)
+	spans := o.ownerSpans(peers, s)
+	var wg sync.WaitGroup
+	for k := 0; k < s; k++ {
+		sh := shards[k]
+		sh.props = sh.props[:0]
+		sh.probes, sh.probeTimeouts, sh.blacklistHits = 0, 0, 0
+		lo, hi := spans[k][0], spans[k][1]
+		if obs.Enabled() {
+			hShardPeers.Observe(uint64(hi - lo))
+		}
+		if lo == hi {
+			continue
+		}
+		run := func(sh *shardState, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a := peers[i]
+				traffic[i] = 0
+				st := o.state[a]
+				if !o.net.Alive(a) || st == nil || len(st.NonFlooding) == 0 {
+					continue
+				}
+				r := splitRNG{s: sm(base ^ (uint64(a)+1)*golden)}
+				var t peerTally
+				switch o.cfg.Policy {
+				case PolicyRandom:
+					o.proposeRandom(a, st, &r, sh, &t)
+				case PolicyNaive:
+					o.proposeNaive(a, st, &r, sh, &t)
+				case PolicyClosest:
+					o.proposeClosest(a, st, sh, &t)
+				}
+				traffic[i] = t.traffic
+				sh.probes += t.probes
+				sh.probeTimeouts += t.timeouts
+				sh.blacklistHits += t.hits
+			}
+		}
+		if s == 1 {
+			run(sh, lo, hi)
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shardState, lo, hi int) {
+			defer wg.Done()
+			run(sh, lo, hi)
+		}(sh, lo, hi)
+	}
+	wg.Wait()
+	// Serial folds in ascending peer / shard order: float traffic first
+	// (grouped per peer, so the addition tree ignores shard boundaries),
+	// then the integer tallies.
+	for i := range traffic {
+		report.ProbeTraffic += traffic[i]
+	}
+	for k := 0; k < s; k++ {
+		report.Probes += shards[k].probes
+		report.ProbeTimeouts += shards[k].probeTimeouts
+		report.BlacklistHits += shards[k].blacklistHits
+	}
+}
+
+// probePropose prices one propose-pass delay measurement from a to
+// candidate h — the sharded counterpart of probe(), accumulating into
+// the peer's tally instead of the shared report.
+func (o *Optimizer) probePropose(av overlay.CostView, a, h overlay.PeerID, t *peerTally) (float64, bool) {
+	t.probes++
+	c := av.To(h)
+	t.traffic += o.cfg.ProbeCost * c
+	if inj := o.net.Faults(); inj != nil && inj.ProbeTimeout(int(a), int(h), 0) {
+		t.timeouts++
+		return c, false
+	}
+	return c, true
+}
+
+// figure4Actionable reports whether a probed candidate can take a
+// Figure-4(b) or 4(c) branch at all: 4(d) — rejected because the
+// candidate beats neither a—b nor b—h — depends only on the oracle's
+// static physical costs and has no side effects in applyFigure4WithCost,
+// so the propose pass filters clear rejects here instead of shipping
+// them through the serial merge. After convergence most random
+// candidates reject, so this is what keeps the merge proportional to
+// the accepted rewiring rate rather than the population.
+func (o *Optimizer) figure4Actionable(av overlay.CostView, b, h overlay.PeerID, ah float64) bool {
+	return ah < av.To(b) || ah < o.net.CostsFrom(b).To(h)
+}
+
+// proposeRandom is the propose-pass half of phase3Random: the same
+// rejection-sampled candidate pick per non-flooding neighbor, but the
+// Figure-4 decision is deferred to the merge (the probed cost is
+// static, so deciding there is equivalent and sees the freshest
+// adjacency).
+func (o *Optimizer) proposeRandom(a overlay.PeerID, st *PeerState, r *splitRNG, sh *shardState, t *peerTally) {
+	av := o.net.CostsFrom(a)
+	for _, b := range st.NonFlooding {
+		if !o.net.Alive(b) || !o.net.HasEdge(a, b) {
+			continue
+		}
+		nb := o.net.NeighborsView(b)
+		if len(nb) == 0 {
+			continue
+		}
+		for tries := 0; tries < 4; tries++ {
+			h := nb[r.intn(len(nb))]
+			if h == a || !o.net.Alive(h) || o.atCap(h) || o.net.HasEdge(a, h) {
+				continue
+			}
+			if o.blacklisted(h) {
+				t.hits++
+				continue
+			}
+			if ah, ok := o.probePropose(av, a, h, t); ok && o.figure4Actionable(av, b, h, ah) {
+				sh.props = append(sh.props, proposal{a: a, b: b, h: h, ah: ah, kind: propFigure4})
+			}
+			break
+		}
+	}
+}
+
+// proposeNaive is the propose-pass half of phase3Naive: target the most
+// expensive non-flooding neighbor, probe a few shuffled candidates, and
+// propose the best improvement found.
+func (o *Optimizer) proposeNaive(a overlay.PeerID, st *PeerState, r *splitRNG, sh *shardState, t *peerTally) {
+	av := o.net.CostsFrom(a)
+	var worst overlay.PeerID = -1
+	worstCost := -1.0
+	for _, b := range st.NonFlooding {
+		if !o.net.Alive(b) || !o.net.HasEdge(a, b) {
+			continue
+		}
+		if c := av.To(b); c > worstCost {
+			worst, worstCost = b, c
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	sh.candBuf = o.candidatesInto(sh.candBuf[:0], a, worst, &t.hits)
+	cands := sh.candBuf
+	if len(cands) == 0 {
+		return
+	}
+	for i := len(cands) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		cands[i], cands[j] = cands[j], cands[i]
+	}
+	if len(cands) > o.cfg.NaiveProbes {
+		cands = cands[:o.cfg.NaiveProbes]
+	}
+	best, bestCost := overlay.PeerID(-1), worstCost
+	for _, h := range cands {
+		if c, ok := o.probePropose(av, a, h, t); ok && c < bestCost {
+			best, bestCost = h, c
+		}
+	}
+	if best >= 0 {
+		sh.props = append(sh.props, proposal{a: a, b: worst, h: best, ah: bestCost, kind: propNaive})
+	}
+}
+
+// proposeClosest is the propose-pass half of phase3Closest: probe every
+// candidate of every non-flooding neighbor and propose the closest.
+func (o *Optimizer) proposeClosest(a overlay.PeerID, st *PeerState, sh *shardState, t *peerTally) {
+	av := o.net.CostsFrom(a)
+	bestB, bestH, bestCost := overlay.PeerID(-1), overlay.PeerID(-1), 0.0
+	for _, b := range st.NonFlooding {
+		if !o.net.Alive(b) || !o.net.HasEdge(a, b) {
+			continue
+		}
+		sh.candBuf = o.candidatesInto(sh.candBuf[:0], a, b, &t.hits)
+		for _, h := range sh.candBuf {
+			c, ok := o.probePropose(av, a, h, t)
+			if ok && (bestH < 0 || c < bestCost) {
+				bestB, bestH, bestCost = b, h, c
+			}
+		}
+	}
+	if bestH >= 0 && o.figure4Actionable(av, bestB, bestH, bestCost) {
+		sh.props = append(sh.props, proposal{a: a, b: bestB, h: bestH, ah: bestCost, kind: propFigure4})
+	}
+}
+
+// mergeKey orders proposals in the serial merge: a pure splitmix64 hash
+// of (round seed, proposer, target), so the application order is fixed
+// by the seed — independent of shard layout and goroutine schedule —
+// yet uncorrelated with peer ids, giving no peer a standing priority
+// across rounds.
+func mergeKey(base uint64, a, b overlay.PeerID) uint64 {
+	return sm(base ^ (uint64(a)+1)*golden ^ (uint64(b)+1)*0x94d049bb133111eb)
+}
+
+// mergeProposals is the serial cross-shard merge: proposals are ordered
+// by seed-derived key, revalidated against the live network (an earlier
+// merged proposal may have consumed the edge, saturated the candidate,
+// or blacklisted it), and applied through the exact mutation paths the
+// serial engine uses. All overlay mutation of Phase 3 happens here, on
+// one goroutine — the overlay itself never needs a lock.
+func (o *Optimizer) mergeProposals(base uint64, s int, report *StepReport) {
+	props := o.propBuf[:0]
+	for _, sh := range o.shardPool[:s] {
+		props = append(props, sh.props...)
+	}
+	for i := range props {
+		props[i].key = mergeKey(base, props[i].a, props[i].b)
+	}
+	// Full tiebreak below the key keeps the order canonical even on a
+	// 64-bit collision.
+	slices.SortFunc(props, func(x, y proposal) int {
+		switch {
+		case x.key != y.key:
+			if x.key < y.key {
+				return -1
+			}
+			return 1
+		case x.a != y.a:
+			return int(x.a - y.a)
+		default:
+			return int(x.b - y.b)
+		}
+	})
+	for i := range props {
+		pr := props[i]
+		a, b, h := pr.a, pr.b, pr.h
+		// Revalidate what the propose pass checked against the frozen
+		// network: the triangle must still exist and the candidate must
+		// still accept a dial.
+		if !o.net.Alive(a) || !o.net.Alive(b) || !o.net.Alive(h) {
+			continue
+		}
+		if !o.net.HasEdge(a, b) || o.net.HasEdge(a, h) || o.atCap(h) {
+			continue
+		}
+		if o.blacklisted(h) {
+			report.BlacklistHits++
+			continue
+		}
+		av := o.net.CostsFrom(a)
+		switch pr.kind {
+		case propNaive:
+			// The naive policy decided at propose time (candidate beat
+			// the worst neighbor); the merge only applies it safely.
+			if o.net.Degree(b) > 1 && o.tryConnect(a, h, report) {
+				if !o.safeCut(a, b) {
+					o.net.Disconnect(a, h)
+					continue
+				}
+				o.resolvePending(a, b, report)
+				report.Replacements++
+			}
+		default:
+			o.applyFigure4WithCost(av, a, b, h, pr.ah, report)
+		}
+	}
+	o.propBuf = props[:0]
+}

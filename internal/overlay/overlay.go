@@ -108,6 +108,20 @@ type Event struct {
 // full scan (EventsSince reports !ok).
 const maxJournal = 1 << 16
 
+// journalCap is the effective journal bound: maxJournal, or twice the
+// population when that is larger. A fixed bound would shed the journal
+// mid-round on large networks (one churn round can easily journal more
+// than 2^16 events at 100k+ peers), silently downgrading every
+// incremental consumer to full rescans; scaling with N keeps the
+// retained window proportional to one round's worth of churn while
+// staying a vanishing fraction of the network's own memory.
+func (n *Network) journalCap() int {
+	if c := 2 * len(n.attach); c > maxJournal {
+		return c
+	}
+	return maxJournal
+}
+
 // NewNetwork creates an overlay with one peer slot per attachment point;
 // all peers start dead with no links. attach[i] is the physical node of
 // peer i and must be a valid node of the oracle's graph.
@@ -272,9 +286,9 @@ func removeSorted(s []PeerID, q PeerID) []PeerID {
 }
 
 // record appends one journal entry and advances the version, shedding the
-// oldest half of the journal when it outgrows maxJournal.
+// oldest half of the journal when it outgrows journalCap.
 func (n *Network) record(kind EventKind, p, q PeerID) {
-	if len(n.journal) >= maxJournal {
+	if len(n.journal) >= n.journalCap() {
 		drop := len(n.journal) / 2
 		n.journal = append(n.journal[:0:0], n.journal[drop:]...)
 		n.journalBase += uint64(drop)
@@ -425,6 +439,28 @@ func (n *Network) Join(rng *sim.RNG, p PeerID, degreeTarget int) int {
 		q := bootstrap[len(bootstrap)-1]
 		bootstrap = bootstrap[:len(bootstrap)-1]
 		if n.Connect(p, q) {
+			made++
+		}
+	}
+	return made
+}
+
+// JoinUniform brings a dead peer into the system and connects it to up
+// to degreeTarget live peers drawn uniformly from the population by
+// rejection sampling — the bootstrap node handing out random addresses,
+// without Join's host-cache and triad protocol. Its cost is O(degree),
+// independent of the population, where Join's bootstrap fallback copies
+// and shuffles the entire live list; million-peer churn drivers use it
+// so that joins do not dominate the round. It reports the number of
+// connections established.
+func (n *Network) JoinUniform(rng *sim.RNG, p PeerID, degreeTarget int) int {
+	if !n.revive(p) {
+		return 0
+	}
+	made := 0
+	for attempts := 0; made < degreeTarget && attempts < 20*(degreeTarget+1); attempts++ {
+		q := PeerID(rng.Intn(len(n.attach)))
+		if q != p && n.alive[q] && n.Connect(p, q) {
 			made++
 		}
 	}

@@ -3,13 +3,19 @@
 # ns/op, allocs, and custom metrics (peers-rebuilt/op, full-rebuilds/op,
 # per-phase round nanos).
 #
-# Two modes: the default round mode covers the incremental round engine
+# Three modes: the default round mode covers the incremental round engine
 # (BENCH_round.json); -queries covers the per-query flood kernel
-# (BenchmarkEvaluate -> BENCH_query.json).
+# (BenchmarkEvaluate -> BENCH_query.json); -shards sweeps the sharded
+# round engine across shard counts and scales (BENCH_shards.json).
 #
 # Usage: scripts/bench.sh [options] [output.json]
 #   -queries           benchmark the query-flood kernel instead of the
 #                      round engine; output defaults to BENCH_query.json
+#   -shards            sweep the sharded round engine: the 10k-peer
+#                      shards{0,2,4,8} curve plus the 100k-peer sharded
+#                      round; output defaults to BENCH_shards.json. The
+#                      1M-peer round stays behind ACE_BENCH_MILLION=1
+#                      (export it to include the measurement)
 #   -cpuprofile FILE   capture a CPU profile of the benchmark run
 #   -memprofile FILE   capture an allocation profile of the same run
 #   -compare [BASE]    do not write output: run fresh and print a ns/op
@@ -48,6 +54,7 @@ FAILRE=""
 while [ $# -gt 0 ]; do
     case "$1" in
         -queries) MODE="queries"; shift ;;
+        -shards) MODE="shards"; shift ;;
         -cpuprofile) PROFILE_FLAGS+=(-cpuprofile "$2"); shift 2 ;;
         -memprofile) PROFILE_FLAGS+=(-memprofile "$2"); shift 2 ;;
         -compare)
@@ -66,6 +73,7 @@ done
 
 DEFAULT="BENCH_round.json"
 [ "$MODE" = "queries" ] && DEFAULT="BENCH_query.json"
+[ "$MODE" = "shards" ] && DEFAULT="BENCH_shards.json"
 [ -n "$OUT" ] || OUT="$DEFAULT"
 [ -n "$BASE" ] || BASE="$DEFAULT"
 
@@ -87,10 +95,24 @@ if [ "$MODE" = "queries" ]; then
     go test -run '^$' -bench 'BenchmarkEvaluate' \
         -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
         ${PROFILE_FLAGS[@]+"${PROFILE_FLAGS[@]}"} ./internal/gnutella/ | tee "$TMP"
+elif [ "$MODE" = "shards" ]; then
+    # The sharded-engine sweep: shard counts at 10k peers, the 100k-peer
+    # target scale, and — when ACE_BENCH_MILLION=1 is exported — the
+    # 1M-peer demonstration round. Note go's -bench treats a top-level |
+    # as alternating whole slash-paths, so the subcase alternation must
+    # be parenthesized to act as a second pattern level; it matches only
+    # the scale-sweep subcases, leaving the round baseline untouched.
+    go test -run '^$' -bench 'BenchmarkRoundChurn/(n10000|n100000)|BenchmarkRoundMillion' \
+        -benchmem -benchtime "$BENCHTIME" -count "$COUNT" -timeout 60m \
+        ${PROFILE_FLAGS[@]+"${PROFILE_FLAGS[@]}"} ./internal/core/ | tee "$TMP"
 else
     # Profiles only make sense on one package; attach them to the
-    # core-engine run, which is what the perf work targets.
-    go test -run '^$' -bench 'BenchmarkRebuildTrees|BenchmarkRoundChurn' \
+    # core-engine run, which is what the perf work targets. The
+    # parenthesized second pattern level (go's -bench splits top-level |
+    # into whole slash-path alternatives) keeps the sharded scale sweep
+    # (n10000/*, n100000 — covered by -shards mode) out of the round
+    # baseline while matching the n=1000 round cases.
+    go test -run '^$' -bench 'BenchmarkRebuildTrees|BenchmarkRoundChurn/(incremental|full)' \
         -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
         ${PROFILE_FLAGS[@]+"${PROFILE_FLAGS[@]}"} ./internal/core/ | tee "$TMP"
     go test -run '^$' -bench 'BenchmarkDelayWarm' \
