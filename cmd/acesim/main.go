@@ -231,8 +231,10 @@ func main() {
 				k, float64(rep.RebuildNanos)/1e6, float64(rep.Phase3Nanos)/1e6,
 				float64(rep.RepairNanos)/1e6, rep.Probes, rep.ExchangeCost)
 			if rep.Shards > 0 {
-				fmt.Printf("      shards %d: merge %.2fms  imbalance %.1f%%\n",
-					rep.Shards, float64(rep.MergeNanos)/1e6, 100*rep.ShardImbalance)
+				fmt.Printf("      shards %d: merge %.2fms (sort %.2fms, %d segments, %d serial)  imbalance build %.1f%% propose %.1f%%\n",
+					rep.Shards, float64(rep.MergeNanos)/1e6, float64(rep.MergeSortNanos)/1e6,
+					rep.MergeSegments, rep.MergeSerialFallbacks,
+					100*rep.ShardImbalance, 100*rep.ProposeImbalance)
 			}
 			if inj != nil || rep.PurgedEdges > 0 {
 				fmt.Printf("      faults: retries %d  timeouts %d  stale %d/%d  blacklist %d  dial-fail %d  purged %d\n",

@@ -103,14 +103,19 @@ type Config struct {
 
 	// Shards selects the round engine. 0 (the default) runs the serial
 	// engine. A positive value runs the sharded engine of shard.go with
-	// that many shards — peers partition into contiguous PeerID ranges,
-	// Phase 1/2 sweeps and the Phase-3 propose pass fan out across them,
-	// and overlay mutations apply through the serial seed-keyed merge.
-	// −1 sizes the shard count to runtime.GOMAXPROCS. Sharded rounds are
-	// bit-identical across shard counts (Shards=k matches Shards=1 for
-	// every k), but the sharded engine's Phase-3 propose/merge split is a
-	// different — equally protocol-faithful — trajectory than the serial
-	// engine's in-place Phase 3; see DESIGN.md §5e.
+	// exactly that many shards — peers partition into contiguous PeerID
+	// ranges, Phase 1/2 sweeps and the Phase-3 propose pass fan out
+	// across them, and overlay mutations apply through the seed-keyed
+	// cross-shard merge (parallelized over conflict-free segments).
+	// −1 caps the shard count at runtime.GOMAXPROCS and lets each
+	// fan-out narrow itself to its actual work — no more shards than
+	// work/minPerShard (shard.go: fanWidth) — so small rounds skip the
+	// fan-out overhead entirely. Sharded rounds are bit-identical across
+	// shard counts (Shards=k matches Shards=1 for every k, which is what
+	// makes the per-phase narrowing legal), but the sharded engine's
+	// Phase-3 propose/merge split is a different — equally
+	// protocol-faithful — trajectory than the serial engine's in-place
+	// Phase 3; see DESIGN.md §5e.
 	Shards int
 
 	// RebuildFraction is the dirty-region share of the live population

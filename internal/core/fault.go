@@ -110,7 +110,7 @@ func (o *Optimizer) faultPhase(peers []overlay.PeerID, report *StepReport) {
 	// foldSweep re-serializes both into the legacy accumulation order.
 	retries := o.retryLimit()
 	ttl := o.staleTTL()
-	if s := o.shardCount(); s > 1 {
+	if s := o.fanWidth(o.shardCount(), len(peers)); s > 1 {
 		o.probeSweepSharded(peers, inj, retries, ttl, s, report)
 		return
 	}
@@ -196,23 +196,11 @@ func (o *Optimizer) blacklisted(h overlay.PeerID) bool {
 
 // tryConnect is net.Connect with fault injection: the dial can fail
 // (feeding the blacklist streak), and a success clears the target's
-// failure history. With no injector it is a plain Connect.
+// failure history. With no injector it is a plain Connect. The staged
+// variant used by the parallel merge is connectCtx (optimizer.go).
 func (o *Optimizer) tryConnect(a, h overlay.PeerID, report *StepReport) bool {
-	inj := o.net.Faults()
-	if inj == nil {
-		return o.net.Connect(a, h)
-	}
-	if inj.ConnectFails(int(a), int(h)) {
-		report.FailedConnects++
-		o.noteDialFailure(h)
-		return false
-	}
-	if !o.net.Connect(a, h) {
-		return false
-	}
-	o.dialFails[h] = 0
-	o.blackExp[h] = 0
-	return true
+	cx := applyCtx{report: report}
+	return o.connectCtx(&cx, a, h)
 }
 
 // noteDialFailure advances h's failure streak and blacklists it when

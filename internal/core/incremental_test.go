@@ -95,7 +95,9 @@ func requireSameStates(t *testing.T, round int, inc, full *Optimizer, n int) {
 // a StepReport must match bit-for-bit.
 func stripTiming(r StepReport) StepReport {
 	r.RebuildNanos, r.Phase3Nanos, r.RepairNanos, r.MergeNanos = 0, 0, 0, 0
+	r.MergeSortNanos = 0
 	r.Shards, r.ShardImbalance = 0, 0
+	r.MergeSegments, r.MergeSerialFallbacks, r.ProposeImbalance = 0, 0, 0
 	return r
 }
 

@@ -45,6 +45,14 @@ var (
 	spanShardMerge  = obs.NewSpan("ace.core.shard.merge_nanos")
 	hShardImbalance = obs.NewHistogram("ace.core.shard.imbalance")
 
+	// Parallel-merge instruments: per-shard proposal keying/sorting CPU
+	// time (summed across the fan-out, so it is not wall-clock), conflict
+	// segments per merged stream, and segments that fell back to the
+	// serial batch because they shared an endpoint with an earlier one.
+	spanMergeSort         = obs.NewSpan("ace.core.shard.merge_sort_nanos")
+	hMergeSegments        = obs.NewHistogram("ace.core.shard.merge_segments")
+	cMergeSerialFallbacks = obs.NewCounter("ace.core.shard.merge_serial_fallbacks")
+
 	// Fault-reaction counters (ace.fault.*): how the protocol responded
 	// to injected faults and crash debris. The injection-side tallies
 	// (ace.fault.injected.*) are always-on counters owned by the

@@ -34,8 +34,12 @@ type Optimizer struct {
 	// non-flooding neighbor b. a cuts a—b once it observes (via the
 	// periodic exchange) that the b—h connection is gone, or abandons
 	// the experiment — cutting the extra a—h link — when b—h survives
-	// PendingTTL rounds, so tentative links cannot accumulate.
-	pending map[overlay.PeerID]map[overlay.PeerID]pendingCut
+	// PendingTTL rounds, so tentative links cannot accumulate. The outer
+	// level is dense-indexed by proposer id (nil for peers with no open
+	// experiment): the parallel merge mutates different proposers'
+	// entries from different segments, and slice slots — unlike keys of
+	// one shared map — are independently writable.
+	pending []map[overlay.PeerID]pendingCut
 
 	// contrib caches each built peer's exchange-cost contribution (its
 	// per-cycle probe + table traffic), dense-indexed by id like o.state
@@ -64,21 +68,28 @@ type Optimizer struct {
 	aliveBuf []overlay.PeerID
 	dirtyBuf []overlay.PeerID
 	candBuf  []overlay.PeerID
-	ownerBuf []overlay.PeerID
 	dirtySet peerBitset
 
 	// scratch holds one buildState arena per rebuild worker.
 	scratch []*buildScratch
 
 	// Sharded-engine state (see shard.go): per-shard arenas, the
-	// proposal buffer of the Phase-3 propose/merge split, the per-peer
-	// probe-traffic slots whose serial fold keeps the float accumulation
-	// independent of the shard count, and the last rebuild's imbalance.
+	// pipelined-merge run buffers (one per merge-tree node, reused
+	// across rounds), the per-peer probe-traffic slots whose serial fold
+	// keeps the float accumulation independent of the shard count, the
+	// parallel-merge segmentation scratch, and the last rebuild's
+	// imbalance.
 	shardPool     []*shardState
-	propBuf       []proposal
+	runBufs       [][]proposal
 	peerTraffic   []float64
 	spanBuf       [][2]int
+	stateBuf      []*PeerState
+	seg           mergeSegments
 	lastImbalance float64
+	// forceSerialMerge pins the merge to the serial stream-order apply;
+	// determinism tests flip it to prove the conflict-partitioned path
+	// produces the identical trajectory.
+	forceSerialMerge bool
 
 	// Fault-hardening state (see fault.go); all of it stays nil/zero —
 	// and costs nothing — until a fault.Injector is attached to the
@@ -161,10 +172,19 @@ type StepReport struct {
 	RepairNanos  int64 // MinDegree repair
 
 	// Sharded-engine diagnostics; all zero when the serial engine ran
-	// the round (Config.Shards == 0).
-	Shards         int     // shard count the round executed with
-	MergeNanos     int64   // serial cross-shard merge, within Phase3Nanos
-	ShardImbalance float64 // max shard's states built over the mean, −1
+	// the round (Config.Shards == 0). MergeNanos is the wall-clock the
+	// merge adds after the propose fan-out completes (the pipelined
+	// pre-merge overlaps proposing and is excluded); MergeSortNanos sums
+	// the per-shard proposal sorts, which run concurrently inside the
+	// fan-out, so it is CPU time, not wall-clock, and takes no part in
+	// the phase-nanos ≤ elapsed contract.
+	Shards               int     // shard cap the round executed with
+	MergeNanos           int64   // cross-shard merge + apply, within Phase3Nanos
+	MergeSortNanos       int64   // per-shard proposal sorts, summed CPU time
+	MergeSegments        int     // conflict segments the merged stream split into
+	MergeSerialFallbacks int     // segments applied serially (shared an endpoint)
+	ShardImbalance       float64 // max shard's states built over the mean, −1
+	ProposeImbalance     float64 // max shard's proposal count over the mean, −1
 }
 
 // NewOptimizer validates cfg and attaches an optimizer to net. No state
@@ -177,7 +197,7 @@ func NewOptimizer(net *overlay.Network, cfg Config) (*Optimizer, error) {
 		net:     net,
 		cfg:     cfg,
 		state:   make([]*PeerState, net.N()),
-		pending: make(map[overlay.PeerID]map[overlay.PeerID]pendingCut),
+		pending: make([]map[overlay.PeerID]pendingCut, net.N()),
 		contrib: make([]float64, net.N()),
 	}, nil
 }
@@ -305,7 +325,7 @@ func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) *peerBitset 
 		}
 	}
 	o.dirtyBuf = endpoints[:0]
-	if s := o.shardCount(); s > 1 && len(endpoints) >= 2*s {
+	if s := o.fanWidth(o.shardCount(), len(endpoints)); s > 1 && len(endpoints) >= 2*s {
 		o.scanPostingsSharded(dirty, endpoints, sparse, s)
 	} else {
 		for _, e := range endpoints {
@@ -361,11 +381,11 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 	if len(list) == 0 {
 		return
 	}
-	if s := o.shardCount(); s > 1 {
+	if s := o.fanWidth(o.shardCount(), len(list)); s > 1 {
 		o.buildStatesSharded(list, s)
 		return
 	}
-	states := make([]*PeerState, len(list))
+	states := o.stateSlots(len(list))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(list) {
 		workers = len(list)
@@ -399,6 +419,19 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 	o.commitStates(list, states)
 }
 
+// stateSlots returns a zeroed pooled slice for freshly built states.
+// Rebuilds run every round; commitStates consumes the slice before the
+// next call, so one buffer serves every rebuild — the result slice was
+// the last per-round allocation left on the rebuild path.
+func (o *Optimizer) stateSlots(n int) []*PeerState {
+	if cap(o.stateBuf) < n {
+		o.stateBuf = make([]*PeerState, n)
+	}
+	s := o.stateBuf[:n]
+	clear(s)
+	return s
+}
+
 // commitStates installs freshly built states in list order, maintaining
 // the reverse index and the cached exchange contributions. It is the
 // single commit path shared by the serial and sharded build fan-outs,
@@ -409,6 +442,7 @@ func (o *Optimizer) commitStates(list []overlay.PeerID, states []*PeerState) {
 	if n := o.net.N(); len(o.state) < n {
 		o.state = append(o.state, make([]*PeerState, n-len(o.state))...)
 		o.contrib = append(o.contrib, make([]float64, n-len(o.contrib))...)
+		o.pending = append(o.pending, make([]map[overlay.PeerID]pendingCut, n-len(o.pending))...)
 	}
 	o.rev.ensure(o.net.N())
 	interiorMax := int32(o.cfg.Depth - 1)
@@ -541,25 +575,82 @@ func (o *Optimizer) maintainMinDegree(rng *sim.RNG, alive []overlay.PeerID, repo
 	}
 }
 
+// applyCtx routes Phase-3 edge mutations. With tx == nil every call
+// mutates the network directly (the serial engine and the serial merge
+// path). With a StagedTx attached, adjacency still mutates in place but
+// the journal/version/edge bookkeeping is buffered for the parallel
+// merge's deterministic segment-order commit, and the report points at a
+// segment- or worker-local accumulator instead of the round's. All
+// counters that flow through it are integers, so any fold order yields
+// the same round totals.
+type applyCtx struct {
+	tx     *overlay.StagedTx
+	report *StepReport
+}
+
+// connectCtx is net.Connect with fault injection (see tryConnect) routed
+// through cx: the dial can fail, feeding the blacklist streak, and a
+// success clears the target's failure history.
+func (o *Optimizer) connectCtx(cx *applyCtx, a, h overlay.PeerID) bool {
+	inj := o.net.Faults()
+	if inj != nil && inj.ConnectFails(int(a), int(h)) {
+		cx.report.FailedConnects++
+		o.noteDialFailure(h)
+		return false
+	}
+	var ok bool
+	if cx.tx != nil {
+		ok = o.net.ConnectStaged(cx.tx, a, h)
+	} else {
+		ok = o.net.Connect(a, h)
+	}
+	if !ok {
+		return false
+	}
+	if inj != nil {
+		o.dialFails[h] = 0
+		o.blackExp[h] = 0
+	}
+	return true
+}
+
+// disconnectCtx removes the a—b link through cx's mutation route.
+func (o *Optimizer) disconnectCtx(cx *applyCtx, a, b overlay.PeerID) bool {
+	if cx.tx != nil {
+		return o.net.DisconnectStaged(cx.tx, a, b)
+	}
+	return o.net.Disconnect(a, b)
+}
+
 // safeCut disconnects a—b unless that would strand b (or a) with no
 // neighbors at all: a client that loses its last connection re-joins
 // through its host cache, and peers avoid forcing that. It reports
 // whether the cut happened.
 func (o *Optimizer) safeCut(a, b overlay.PeerID) bool {
+	return o.safeCutCtx(&applyCtx{}, a, b)
+}
+
+// safeCutCtx is safeCut through cx's mutation route.
+func (o *Optimizer) safeCutCtx(cx *applyCtx, a, b overlay.PeerID) bool {
 	if !o.net.HasEdge(a, b) {
 		return false
 	}
 	if o.net.Degree(a) <= 1 || o.net.Degree(b) <= 1 {
 		return false
 	}
-	return o.net.Disconnect(a, b)
+	return o.disconnectCtx(cx, a, b)
 }
 
 // abandonTentative removes the tentative a—h link of an expired or
 // voided Figure-4(c) experiment.
 func (o *Optimizer) abandonTentative(a, h overlay.PeerID, report *StepReport) {
-	if o.net.Alive(a) && o.net.Alive(h) && o.safeCut(a, h) {
-		report.Abandoned++
+	o.abandonTentativeCtx(&applyCtx{report: report}, a, h)
+}
+
+// abandonTentativeCtx is abandonTentative through cx's mutation route.
+func (o *Optimizer) abandonTentativeCtx(cx *applyCtx, a, h overlay.PeerID) {
+	if o.net.Alive(a) && o.net.Alive(h) && o.safeCutCtx(cx, a, h) {
+		cx.report.Abandoned++
 	}
 }
 
@@ -568,16 +659,15 @@ func (o *Optimizer) abandonTentative(a, h overlay.PeerID, report *StepReport) {
 // link b—h is gone, it cuts its own link to b. Experiments voided by
 // churn or other rewiring, or expired past PendingTTL, drop their
 // tentative a—h link instead, so tentative degree never accumulates.
+// The dense pending slice scans in ascending proposer order, the same
+// order the old sorted-owner iteration produced.
 func (o *Optimizer) executePendingCuts(report *StepReport) {
-	// Deterministic iteration: sort the owners.
-	owners := o.ownerBuf[:0]
 	for a := range o.pending {
-		owners = append(owners, a)
-	}
-	o.ownerBuf = owners
-	slices.Sort(owners)
-	for _, a := range owners {
 		m := o.pending[a]
+		if len(m) == 0 {
+			continue
+		}
+		a := overlay.PeerID(a)
 		bs := make([]overlay.PeerID, 0, len(m))
 		for b := range m {
 			bs = append(bs, b)
@@ -614,7 +704,7 @@ func (o *Optimizer) executePendingCuts(report *StepReport) {
 			}
 		}
 		if len(m) == 0 {
-			delete(o.pending, a)
+			o.pending[a] = nil
 		}
 	}
 }
@@ -701,8 +791,16 @@ func (o *Optimizer) applyFigure4(av overlay.CostView, a, b, h overlay.PeerID, re
 // resolvePending clears any outstanding experiment a had for b, dropping
 // its tentative link: a new decision about b supersedes it.
 func (o *Optimizer) resolvePending(a, b overlay.PeerID, report *StepReport) {
+	o.resolvePendingCtx(&applyCtx{report: report}, a, b)
+}
+
+// resolvePendingCtx is resolvePending through cx's mutation route. It
+// touches only pending[a] — under the parallel merge, every proposal
+// sharing proposer a sits in the same conflict component, so the slot is
+// effectively segment-private.
+func (o *Optimizer) resolvePendingCtx(cx *applyCtx, a, b overlay.PeerID) {
 	if old, ok := o.pending[a][b]; ok {
-		o.abandonTentative(a, old.h, report)
+		o.abandonTentativeCtx(cx, a, old.h)
 		delete(o.pending[a], b)
 	}
 }
@@ -849,33 +947,44 @@ func (o *Optimizer) phase3Closest(a overlay.PeerID, st *PeerState, report *StepR
 }
 
 // applyFigure4WithCost is applyFigure4 for a candidate already probed;
-// av is a's cost view.
+// av is a's cost view. The triangle's other two costs are static
+// physical delays, so fetching them here is exactly what the propose
+// pass would have read.
 func (o *Optimizer) applyFigure4WithCost(av overlay.CostView, a, b, h overlay.PeerID, ah float64, report *StepReport) {
-	ab := av.To(b)
+	cx := applyCtx{report: report}
+	o.applyFigure4Decided(&cx, a, b, h, ah, av.To(b), o.net.CostsFrom(b).To(h))
+}
+
+// applyFigure4Decided applies the Figure-4 branch selection to a
+// triangle whose three costs are already known, through cx's mutation
+// route. ab and bh are static physical delays; the merge path carries
+// them inside the proposal (measured at propose time, identical values)
+// so applying a proposal touches no cost view at all.
+func (o *Optimizer) applyFigure4Decided(cx *applyCtx, a, b, h overlay.PeerID, ah, ab, bh float64) {
 	switch {
 	case ah < ab:
-		if o.net.Degree(b) > 1 && o.tryConnect(a, h, report) {
-			if !o.safeCut(a, b) {
-				o.net.Disconnect(a, h)
+		if o.net.Degree(b) > 1 && o.connectCtx(cx, a, h) {
+			if !o.safeCutCtx(cx, a, b) {
+				o.disconnectCtx(cx, a, h)
 				return
 			}
-			o.resolvePending(a, b, report)
-			report.Replacements++
+			o.resolvePendingCtx(cx, a, b)
+			cx.report.Replacements++
 		}
-	case ah < o.net.CostsFrom(b).To(h):
+	case ah < bh:
 		if o.atCap(a) || o.atCap(h) {
 			return
 		}
 		if _, renewing := o.pending[a][b]; !renewing && len(o.pending[a]) >= MaxPending {
 			return
 		}
-		if o.tryConnect(a, h, report) {
-			o.resolvePending(a, b, report)
+		if o.connectCtx(cx, a, h) {
+			o.resolvePendingCtx(cx, a, b)
 			if o.pending[a] == nil {
 				o.pending[a] = make(map[overlay.PeerID]pendingCut)
 			}
 			o.pending[a][b] = pendingCut{h: h, ttl: PendingTTL}
-			report.KeptNew++
+			cx.report.KeptNew++
 		}
 	}
 }
@@ -884,7 +993,8 @@ func (o *Optimizer) applyFigure4WithCost(av overlay.CostView, a, b, h overlay.Pe
 // since construction, in the same units as query traffic cost.
 func (o *Optimizer) TotalOverhead() float64 { return o.totalOverhead }
 
-// PendingCuts reports how many deferred Figure-4(c) cuts are outstanding.
+// PendingCuts reports how many deferred Figure-4(c) cuts are
+// outstanding.
 func (o *Optimizer) PendingCuts() int {
 	n := 0
 	for _, m := range o.pending {

@@ -45,6 +45,12 @@ type revIndex struct {
 	baseData []byte
 	// extra[m] holds m's postings appended since the last base build.
 	extra [][]revPosting
+	// spare is the arena retired by the previous compaction, ping-ponged
+	// with baseData: each sweep writes the fresh base into the arena
+	// retired two sweeps ago, so steady-state compaction allocates
+	// nothing and peak residency holds two arenas instead of growing a
+	// fresh multi-megabyte slab per sweep at large populations.
+	spare []byte
 
 	live  int // postings whose holder generation is current
 	total int // postings physically present, stale included
@@ -152,8 +158,13 @@ func (ri *revIndex) compact() {
 	// processed in order and written straight into the new arena. off may
 	// alias ri.baseOff, so member m's old postings are collected before
 	// off[m] overwrites the old offset (forEach(m) reads baseOff[m] and
-	// baseOff[m+1], both still untouched at that point).
-	data := make([]byte, 0, 3*ri.live)
+	// baseOff[m+1], both still untouched at that point). The arena must
+	// NOT alias baseData — forEach still reads it — which is what the
+	// two-generation spare guarantees.
+	data := ri.spare[:0]
+	if cap(data) < 3*ri.live {
+		data = make([]byte, 0, 3*ri.live)
+	}
 	bucket := make([]uint32, 0, 64)
 	total := 0
 	for m := 0; m < n; m++ {
@@ -177,6 +188,7 @@ func (ri *revIndex) compact() {
 		ri.extra[m] = ri.extra[m][:0]
 	}
 	off[n] = uint32(len(data))
+	ri.spare = ri.baseData[:0]
 	ri.baseOff, ri.baseData = off, data
 	copy(ri.baseGen, ri.gen)
 	ri.total = total

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"ace/internal/fault"
 	"ace/internal/obs"
@@ -137,8 +138,10 @@ type shardState struct {
 	staleMarked,
 	staleExpired int
 
-	// Propose-pass accumulators (order-free integer sums).
+	// Propose-pass accumulators (order-free integer sums), plus the CPU
+	// nanos the shard spent keying and sorting its own run.
 	probes, probeTimeouts, blacklistHits int
+	sortNanos                            int64
 
 	built int // states built in the last sharded rebuild
 }
@@ -161,12 +164,18 @@ type peerTally struct {
 }
 
 // proposal is one peer's Phase-3 intent, produced against the frozen
-// network and applied (or rejected) by the serial merge.
+// network and applied (or rejected) by the merge. Endpoints are
+// index-packed (peer ids fit 32 bits at any simulated scale) and the
+// triangle's three costs travel with the proposal: the oracle serves
+// float32 vectors, so the narrowed values widen back bit-exactly, and
+// the apply path never touches a cost view. 40 bytes instead of the 48
+// the id-sized struct took — and two fewer vector fetches per applied
+// proposal.
 type proposal struct {
-	key     uint64         // merge order, sm(seed, a, b)
-	a, b, h overlay.PeerID // proposer, targeted neighbor, candidate
-	ah      float64        // probed a—h cost
-	kind    uint8
+	key        uint64  // merge order, sm(seed, a, b)
+	ah, ab, bh float32 // probed a—h cost; static a—b, b—h delays
+	a, b, h    uint32  // proposer, targeted neighbor, candidate
+	kind       uint8
 }
 
 const (
@@ -179,11 +188,39 @@ const (
 )
 
 // shardCount resolves Config.Shards: 0 selects the serial engine, −1
-// sizes the shard count to GOMAXPROCS.
+// caps the shard count at GOMAXPROCS. Individual fan-outs may run
+// narrower than the cap via fanWidth.
 func (o *Optimizer) shardCount() int {
 	s := o.cfg.Shards
 	if s < 0 {
 		return runtime.GOMAXPROCS(0)
+	}
+	return s
+}
+
+// minPerShard is the per-shard work floor of the auto heuristic: below
+// ~512 peers per shard the arena resets and goroutine handoffs cost more
+// than the parallelism returns (the n10000 rows of BENCH_shards.json
+// price exactly that overhead), so auto-sized fan-outs narrow until each
+// shard clears the floor.
+const minPerShard = 512
+
+// fanWidth narrows an auto-sized (Shards == -1) fan-out to the work it
+// actually has: no more shards than work/minPerShard, never fewer than
+// one. Explicitly configured shard counts pass through untouched — tests
+// pin exact widths — and the trajectory is shard-count-independent by
+// the engine's determinism contract, so narrowing is free to vary per
+// phase and per round.
+func (o *Optimizer) fanWidth(s, work int) int {
+	if o.cfg.Shards != -1 || s <= 1 {
+		return s
+	}
+	w := work / minPerShard
+	if w < 1 {
+		w = 1
+	}
+	if w < s {
+		return w
 	}
 	return s
 }
@@ -228,7 +265,7 @@ func (o *Optimizer) ownerSpans(list []overlay.PeerID, s int) [][2]int {
 // list order. States are pure functions of the frozen network, so the
 // result is bit-identical to the serial engine's.
 func (o *Optimizer) buildStatesSharded(list []overlay.PeerID, s int) {
-	states := make([]*PeerState, len(list))
+	states := o.stateSlots(len(list))
 	shards := o.ensureShards(s)
 	spans := o.ownerSpans(list, s)
 	var wg sync.WaitGroup
@@ -347,9 +384,13 @@ func (o *Optimizer) roundSharded(rng *sim.RNG, s int) StepReport {
 	// One serial draw seeds the whole sharded Phase 3; everything after
 	// derives per-peer streams and merge keys from it by pure hashing.
 	base := rng.Uint64()
-	o.proposePhase3(peers, base, s, &report)
+	final := o.proposePhase3(peers, base, s, &report)
+	// MergeNanos is the wall-clock the merge adds after the propose
+	// fan-out: the pipelined pair merges already ran while stragglers
+	// proposed, so this span sees only the residual merge plus the
+	// conflict-partitioned apply.
 	msp := spanShardMerge.Start()
-	o.mergeProposals(base, s, &report)
+	o.mergeProposals(final, s, &report)
 	report.MergeNanos = msp.End()
 	report.Phase3Nanos = sp.End()
 
@@ -367,27 +408,44 @@ func (o *Optimizer) roundSharded(rng *sim.RNG, s int) StepReport {
 // proposePhase3 runs the parallel propose pass: each live peer selects
 // and probes its Phase-3 candidate against the frozen network under its
 // own splitmix64 stream, producing proposals and per-peer probe tallies.
-// The network is not mutated until mergeProposals.
-func (o *Optimizer) proposePhase3(peers []overlay.PeerID, base uint64, s int, report *StepReport) {
+// Each shard keys and sorts its own run inside the fan-out, and the
+// returned channel delivers the fully merged key-ordered stream from the
+// pipelined merge tree (mergeTree): pair merges of finished shards run
+// while stragglers still propose. The network is not mutated until
+// mergeProposals — proposals only read the frozen network, which is the
+// invariant that bounds how early merging may start.
+func (o *Optimizer) proposePhase3(peers []overlay.PeerID, base uint64, s int, report *StepReport) <-chan []proposal {
+	s = o.fanWidth(s, len(peers))
 	if cap(o.peerTraffic) < len(peers) {
 		o.peerTraffic = make([]float64, len(peers))
 	}
 	traffic := o.peerTraffic[:len(peers)]
 	shards := o.ensureShards(s)
 	spans := o.ownerSpans(peers, s)
+	for len(o.runBufs) < s {
+		// Pre-size the merge-tree buffer pool: node goroutines store
+		// their output slices into disjoint slots, so the backing array
+		// must not move underneath them.
+		o.runBufs = append(o.runBufs, nil)
+	}
+	ready := make([]chan []proposal, s)
+	for k := range ready {
+		ready[k] = make(chan []proposal, 1)
+	}
 	var wg sync.WaitGroup
 	for k := 0; k < s; k++ {
 		sh := shards[k]
 		sh.props = sh.props[:0]
-		sh.probes, sh.probeTimeouts, sh.blacklistHits = 0, 0, 0
+		sh.probes, sh.probeTimeouts, sh.blacklistHits, sh.sortNanos = 0, 0, 0, 0
 		lo, hi := spans[k][0], spans[k][1]
 		if obs.Enabled() {
 			hShardPeers.Observe(uint64(hi - lo))
 		}
 		if lo == hi {
+			ready[k] <- nil
 			continue
 		}
-		run := func(sh *shardState, lo, hi int) {
+		run := func(sh *shardState, k, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				a := peers[i]
 				traffic[i] = 0
@@ -410,29 +468,131 @@ func (o *Optimizer) proposePhase3(peers []overlay.PeerID, base uint64, s int, re
 				sh.probeTimeouts += t.timeouts
 				sh.blacklistHits += t.hits
 			}
+			// Key and sort the shard's own run while other shards still
+			// propose: keys are pure hashes of (seed, a, b), and shards
+			// own ascending id ranges, so concatenating sorted runs under
+			// the (key, a, b) order reproduces the one global sort.
+			mark := spanMergeSort.Start()
+			for i := range sh.props {
+				pr := &sh.props[i]
+				pr.key = mergeKey(base, overlay.PeerID(pr.a), overlay.PeerID(pr.b))
+			}
+			sortProposals(sh.props)
+			sh.sortNanos = mark.End()
+			ready[k] <- sh.props
 		}
 		if s == 1 {
-			run(sh, lo, hi)
+			run(sh, k, lo, hi)
 			continue
 		}
 		wg.Add(1)
-		go func(sh *shardState, lo, hi int) {
+		go func(sh *shardState, k, lo, hi int) {
 			defer wg.Done()
-			run(sh, lo, hi)
-		}(sh, lo, hi)
+			run(sh, k, lo, hi)
+		}(sh, k, lo, hi)
 	}
+	final := o.mergeTree(ready, 0, s, 0)
 	wg.Wait()
 	// Serial folds in ascending peer / shard order: float traffic first
 	// (grouped per peer, so the addition tree ignores shard boundaries),
-	// then the integer tallies.
+	// then the integer tallies and the propose-side imbalance.
 	for i := range traffic {
 		report.ProbeTraffic += traffic[i]
 	}
+	maxProps, totalProps := 0, 0
 	for k := 0; k < s; k++ {
-		report.Probes += shards[k].probes
-		report.ProbeTimeouts += shards[k].probeTimeouts
-		report.BlacklistHits += shards[k].blacklistHits
+		sh := shards[k]
+		report.Probes += sh.probes
+		report.ProbeTimeouts += sh.probeTimeouts
+		report.BlacklistHits += sh.blacklistHits
+		report.MergeSortNanos += sh.sortNanos
+		totalProps += len(sh.props)
+		if len(sh.props) > maxProps {
+			maxProps = len(sh.props)
+		}
 	}
+	if s > 1 && totalProps > 0 {
+		report.ProposeImbalance = float64(maxProps)/(float64(totalProps)/float64(s)) - 1
+	}
+	return final
+}
+
+// mergeTree returns a channel that will deliver the merged sorted run of
+// shards [lo, hi). Leaves pass the shard's own channel through; internal
+// nodes merge their children's runs into a pooled buffer (node ids index
+// o.runBufs, assigned deterministically by subtree layout) the moment
+// both arrive — so finished subtrees merge while sibling shards still
+// propose. The output is the unique (key, a, b)-sorted order of the
+// union, so neither the tree shape nor goroutine scheduling can
+// influence it; only completion latency varies.
+func (o *Optimizer) mergeTree(ready []chan []proposal, lo, hi, node int) <-chan []proposal {
+	if hi-lo == 1 {
+		return ready[lo]
+	}
+	mid := (lo + hi) / 2
+	left := o.mergeTree(ready, lo, mid, node+1)
+	right := o.mergeTree(ready, mid, hi, node+(mid-lo))
+	out := make(chan []proposal, 1)
+	go func(buf []proposal) {
+		x := <-left
+		y := <-right
+		buf = mergeRuns(buf[:0], x, y)
+		o.runBufs[node] = buf // disjoint slot; republished to the pool
+		out <- buf
+	}(o.runBufs[node])
+	return out
+}
+
+// sortProposals orders a run by (key, a, b) — the full tiebreak keeps
+// the order canonical even on a 64-bit key collision.
+func sortProposals(props []proposal) {
+	slices.SortFunc(props, func(x, y proposal) int {
+		switch {
+		case x.key != y.key:
+			if x.key < y.key {
+				return -1
+			}
+			return 1
+		case x.a != y.a:
+			return int(x.a) - int(y.a)
+		default:
+			return int(x.b) - int(y.b)
+		}
+	})
+}
+
+// lessProp is the strict (key, a, b) order mergeRuns interleaves by.
+func lessProp(x, y *proposal) bool {
+	if x.key != y.key {
+		return x.key < y.key
+	}
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	return x.b < y.b
+}
+
+// mergeRuns appends the two-way merge of sorted runs x and y to dst and
+// returns it. Equal keys fall back to (a, b), which cannot collide — an
+// (a, b) pair proposes at most once per round — so the merge is a strict
+// total order and trivially stable.
+func mergeRuns(dst, x, y []proposal) []proposal {
+	if cap(dst) < len(x)+len(y) {
+		dst = make([]proposal, 0, len(x)+len(y))
+	}
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		if lessProp(&y[j], &x[i]) {
+			dst = append(dst, y[j])
+			j++
+		} else {
+			dst = append(dst, x[i])
+			i++
+		}
+	}
+	dst = append(dst, x[i:]...)
+	dst = append(dst, y[j:]...)
+	return dst
 }
 
 // probePropose prices one propose-pass delay measurement from a to
@@ -449,16 +609,20 @@ func (o *Optimizer) probePropose(av overlay.CostView, a, h overlay.PeerID, t *pe
 	return c, true
 }
 
-// figure4Actionable reports whether a probed candidate can take a
-// Figure-4(b) or 4(c) branch at all: 4(d) — rejected because the
-// candidate beats neither a—b nor b—h — depends only on the oracle's
-// static physical costs and has no side effects in applyFigure4WithCost,
-// so the propose pass filters clear rejects here instead of shipping
-// them through the serial merge. After convergence most random
-// candidates reject, so this is what keeps the merge proportional to
-// the accepted rewiring rate rather than the population.
-func (o *Optimizer) figure4Actionable(av overlay.CostView, b, h overlay.PeerID, ah float64) bool {
-	return ah < av.To(b) || ah < o.net.CostsFrom(b).To(h)
+// figure4Costs resolves the static a—b and b—h delays of a probed
+// triangle and reports whether the candidate can take a Figure-4(b) or
+// 4(c) branch at all: 4(d) — rejected because the candidate beats
+// neither a—b nor b—h — depends only on the oracle's static physical
+// costs and has no side effects in the apply path, so the propose pass
+// filters clear rejects here instead of shipping them through the
+// merge. After convergence most random candidates reject, so this is
+// what keeps the merge proportional to the accepted rewiring rate
+// rather than the population. The resolved costs travel in the proposal
+// so the apply path never refetches a cost vector.
+func (o *Optimizer) figure4Costs(av overlay.CostView, b, h overlay.PeerID, ah float64) (ab, bh float64, actionable bool) {
+	ab = av.To(b)
+	bh = o.net.CostsFrom(b).To(h)
+	return ab, bh, ah < ab || ah < bh
 }
 
 // proposeRandom is the propose-pass half of phase3Random: the same
@@ -485,8 +649,13 @@ func (o *Optimizer) proposeRandom(a overlay.PeerID, st *PeerState, r *splitRNG, 
 				t.hits++
 				continue
 			}
-			if ah, ok := o.probePropose(av, a, h, t); ok && o.figure4Actionable(av, b, h, ah) {
-				sh.props = append(sh.props, proposal{a: a, b: b, h: h, ah: ah, kind: propFigure4})
+			if ah, ok := o.probePropose(av, a, h, t); ok {
+				if ab, bh, act := o.figure4Costs(av, b, h, ah); act {
+					sh.props = append(sh.props, proposal{
+						ah: float32(ah), ab: float32(ab), bh: float32(bh),
+						a: uint32(a), b: uint32(b), h: uint32(h), kind: propFigure4,
+					})
+				}
 			}
 			break
 		}
@@ -530,7 +699,10 @@ func (o *Optimizer) proposeNaive(a overlay.PeerID, st *PeerState, r *splitRNG, s
 		}
 	}
 	if best >= 0 {
-		sh.props = append(sh.props, proposal{a: a, b: worst, h: best, ah: bestCost, kind: propNaive})
+		sh.props = append(sh.props, proposal{
+			ah: float32(bestCost),
+			a:  uint32(a), b: uint32(worst), h: uint32(best), kind: propNaive,
+		})
 	}
 }
 
@@ -551,8 +723,13 @@ func (o *Optimizer) proposeClosest(a overlay.PeerID, st *PeerState, sh *shardSta
 			}
 		}
 	}
-	if bestH >= 0 && o.figure4Actionable(av, bestB, bestH, bestCost) {
-		sh.props = append(sh.props, proposal{a: a, b: bestB, h: bestH, ah: bestCost, kind: propFigure4})
+	if bestH >= 0 {
+		if ab, bh, act := o.figure4Costs(av, bestB, bestH, bestCost); act {
+			sh.props = append(sh.props, proposal{
+				ah: float32(bestCost), ab: float32(ab), bh: float32(bh),
+				a: uint32(a), b: uint32(bestB), h: uint32(bestH), kind: propFigure4,
+			})
+		}
 	}
 }
 
@@ -565,67 +742,286 @@ func mergeKey(base uint64, a, b overlay.PeerID) uint64 {
 	return sm(base ^ (uint64(a)+1)*golden ^ (uint64(b)+1)*0x94d049bb133111eb)
 }
 
-// mergeProposals is the serial cross-shard merge: proposals are ordered
-// by seed-derived key, revalidated against the live network (an earlier
-// merged proposal may have consumed the edge, saturated the candidate,
-// or blacklisted it), and applied through the exact mutation paths the
-// serial engine uses. All overlay mutation of Phase 3 happens here, on
-// one goroutine — the overlay itself never needs a lock.
-func (o *Optimizer) mergeProposals(base uint64, s int, report *StepReport) {
-	props := o.propBuf[:0]
-	for _, sh := range o.shardPool[:s] {
-		props = append(props, sh.props...)
+// mergeProposals completes the cross-shard merge: it receives the fully
+// merged key-ordered stream from the pipelined merge tree and applies it
+// through the conflict-partitioned path. All overlay mutation of Phase 3
+// happens downstream of here.
+func (o *Optimizer) mergeProposals(final <-chan []proposal, s int, report *StepReport) {
+	props := <-final
+	// Auto-sized rounds narrow the apply fan-out to the stream they
+	// actually merged: a few hundred proposals are not worth segmenting.
+	o.applyMerged(props, o.fanWidth(s, len(props)), report)
+}
+
+// mergeSegments is the reusable conflict-partition scratch of the
+// parallel merge (applyMerged). The per-peer membership and claim marks
+// are epoch-stamped uint32 arrays, so starting a new segment or a new
+// round is an epoch bump, not an O(N) clear.
+type mergeSegments struct {
+	segStamp   []uint32 // segStamp[p] == segEpoch ⇒ p touched by current segment
+	claimStamp []uint32 // claimStamp[p] == claimEpoch ⇒ p claimed this round
+	segEpoch   uint32
+	claimEpoch uint32
+	off        []int32          // segment g spans props[off[g]:off[g+1]]
+	ends       []overlay.PeerID // flat deduplicated endpoint lists
+	endOff     []int32          // segment g's endpoints: ends[endOff[g]:endOff[g+1]]
+	parIdx     []int32          // conflict-free segments, stream order
+	serIdx     []int32          // serial-fallback segments, stream order
+	txs        []overlay.StagedTx
+	reports    []StepReport // one per apply worker
+}
+
+// ensure sizes the per-peer stamp arrays for n peers.
+func (ms *mergeSegments) ensure(n int) {
+	if len(ms.segStamp) < n {
+		ms.segStamp = make([]uint32, n)
+		ms.claimStamp = make([]uint32, n)
+		ms.segEpoch, ms.claimEpoch = 0, 0
 	}
+}
+
+// bumpEpoch advances an epoch counter, clearing the stamp array on the
+// (once per 4G uses) wraparound so stale marks can never alias.
+func bumpEpoch(stamp []uint32, e *uint32) {
+	*e++
+	if *e == 0 {
+		clear(stamp)
+		*e = 1
+	}
+}
+
+// A proposal's conflict endpoints are the peers whose adjacency, degree,
+// blacklist slots, or pending entries the apply path may read or write:
+// proposer, targeted neighbor, candidate, and (when the proposer holds
+// an open 4(c) experiment for the target) the tentative candidate that
+// resolvePending may cut. The pending entry itself needs no conflict
+// tracking: pending[a][b] is read and written only by the unique
+// proposal (a, b), so the snapshot taken at segmentation time is still
+// exact at apply time. conflictsCurrent and stampEndpoints enumerate the
+// set inline (one segmentation runs per proposal; a closure-based walker
+// allocates).
+
+// conflictsCurrent reports whether pr touches any endpoint already in
+// the current (open) segment.
+func (o *Optimizer) conflictsCurrent(ms *mergeSegments, pr *proposal) bool {
+	a, b := overlay.PeerID(pr.a), overlay.PeerID(pr.b)
+	if ms.segStamp[a] == ms.segEpoch || ms.segStamp[b] == ms.segEpoch ||
+		ms.segStamp[pr.h] == ms.segEpoch {
+		return true
+	}
+	if old, ok := o.pending[a][b]; ok && ms.segStamp[old.h] == ms.segEpoch {
+		return true
+	}
+	return false
+}
+
+// stamp adds p to the current segment's membership and, when newly seen,
+// its deduplicated endpoint list.
+func (ms *mergeSegments) stamp(p overlay.PeerID) {
+	if ms.segStamp[p] != ms.segEpoch {
+		ms.segStamp[p] = ms.segEpoch
+		ms.ends = append(ms.ends, p)
+	}
+}
+
+// stampEndpoints adds pr's conflict endpoints to the current segment.
+func (o *Optimizer) stampEndpoints(ms *mergeSegments, pr *proposal) {
+	a, b := overlay.PeerID(pr.a), overlay.PeerID(pr.b)
+	ms.stamp(a)
+	ms.stamp(b)
+	ms.stamp(overlay.PeerID(pr.h))
+	if old, ok := o.pending[a][b]; ok {
+		ms.stamp(old.h)
+	}
+}
+
+// applyMerged applies the key-ordered proposal stream. The serial path
+// (single shard, or the forceSerialMerge test hook) applies in stream
+// order directly. The parallel path first cuts the stream into segments
+// — greedily, wherever a proposal's endpoint set is disjoint from
+// everything in the open segment — then partitions segments by a claims
+// pass: a segment whose endpoints were all unclaimed runs in the
+// parallel batch and claims them; a segment that meets any claimed
+// endpoint falls back to the serial batch (and still claims, so later
+// overlaps see it too). Every conflicting pair of proposals therefore
+// keeps its stream order — the later member is always in the serial
+// batch, which runs after the parallel batch, in stream order — and
+// disjoint proposals commute exactly, so the trajectory is bit-identical
+// to the serial merge's. Workers accumulate into private StepReports
+// whose merge-path counters are all integers (fold order cannot show),
+// and overlay bookkeeping lands via per-segment staged transactions
+// committed in segment order, keeping the journal canonical.
+func (o *Optimizer) applyMerged(props []proposal, s int, report *StepReport) {
+	if len(props) == 0 {
+		return
+	}
+	if s <= 1 || o.forceSerialMerge {
+		cx := applyCtx{report: report}
+		for i := range props {
+			o.applyOne(&cx, &props[i])
+		}
+		return
+	}
+	ms := &o.seg
+	ms.ensure(o.net.N())
+	ms.off = append(ms.off[:0], 0)
+	ms.ends = ms.ends[:0]
+	ms.endOff = append(ms.endOff[:0], 0)
+	bumpEpoch(ms.segStamp, &ms.segEpoch)
+	segStart := 0
 	for i := range props {
-		props[i].key = mergeKey(base, props[i].a, props[i].b)
+		pr := &props[i]
+		if i > segStart && !o.conflictsCurrent(ms, pr) {
+			// Disjoint from everything in the open segment: cut here.
+			ms.off = append(ms.off, int32(i))
+			ms.endOff = append(ms.endOff, int32(len(ms.ends)))
+			bumpEpoch(ms.segStamp, &ms.segEpoch)
+			segStart = i
+		}
+		o.stampEndpoints(ms, pr)
 	}
-	// Full tiebreak below the key keeps the order canonical even on a
-	// 64-bit collision.
-	slices.SortFunc(props, func(x, y proposal) int {
-		switch {
-		case x.key != y.key:
-			if x.key < y.key {
-				return -1
+	ms.off = append(ms.off, int32(len(props)))
+	ms.endOff = append(ms.endOff, int32(len(ms.ends)))
+	nseg := len(ms.off) - 1
+
+	bumpEpoch(ms.claimStamp, &ms.claimEpoch)
+	ms.parIdx, ms.serIdx = ms.parIdx[:0], ms.serIdx[:0]
+	for g := 0; g < nseg; g++ {
+		conflict := false
+		for _, e := range ms.ends[ms.endOff[g]:ms.endOff[g+1]] {
+			if ms.claimStamp[e] == ms.claimEpoch {
+				conflict = true
 			}
-			return 1
-		case x.a != y.a:
-			return int(x.a - y.a)
-		default:
-			return int(x.b - y.b)
+			ms.claimStamp[e] = ms.claimEpoch
 		}
-	})
-	for i := range props {
-		pr := props[i]
-		a, b, h := pr.a, pr.b, pr.h
-		// Revalidate what the propose pass checked against the frozen
-		// network: the triangle must still exist and the candidate must
-		// still accept a dial.
-		if !o.net.Alive(a) || !o.net.Alive(b) || !o.net.Alive(h) {
-			continue
+		if conflict {
+			ms.serIdx = append(ms.serIdx, int32(g))
+		} else {
+			ms.parIdx = append(ms.parIdx, int32(g))
 		}
-		if !o.net.HasEdge(a, b) || o.net.HasEdge(a, h) || o.atCap(h) {
-			continue
+	}
+	report.MergeSegments += nseg
+	report.MergeSerialFallbacks += len(ms.serIdx)
+	if obs.Enabled() {
+		hMergeSegments.Observe(uint64(nseg))
+		cMergeSerialFallbacks.Add(uint64(len(ms.serIdx)))
+	}
+
+	for len(ms.txs) < nseg {
+		ms.txs = append(ms.txs, overlay.StagedTx{})
+	}
+	txs := ms.txs[:nseg]
+	for i := range txs {
+		txs[i].Reset()
+	}
+
+	// Parallel batch: workers pull conflict-free segments off an atomic
+	// cursor — claiming order is irrelevant because the segments are
+	// pairwise disjoint and each target a private StagedTx.
+	workers := min(s, len(ms.parIdx))
+	if workers <= 1 {
+		cx := applyCtx{report: report}
+		for _, g := range ms.parIdx {
+			cx.tx = &txs[g]
+			o.applySegment(props[ms.off[g]:ms.off[g+1]], &cx)
 		}
-		if o.blacklisted(h) {
-			report.BlacklistHits++
-			continue
+	} else {
+		for len(ms.reports) < workers {
+			ms.reports = append(ms.reports, StepReport{})
 		}
-		av := o.net.CostsFrom(a)
-		switch pr.kind {
-		case propNaive:
-			// The naive policy decided at propose time (candidate beat
-			// the worst neighbor); the merge only applies it safely.
-			if o.net.Degree(b) > 1 && o.tryConnect(a, h, report) {
-				if !o.safeCut(a, b) {
-					o.net.Disconnect(a, h)
-					continue
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			ms.reports[w] = StepReport{}
+			wg.Add(1)
+			go func(rep *StepReport) {
+				defer wg.Done()
+				cx := applyCtx{report: rep}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ms.parIdx) {
+						return
+					}
+					g := ms.parIdx[i]
+					cx.tx = &txs[g]
+					o.applySegment(props[ms.off[g]:ms.off[g+1]], &cx)
 				}
-				o.resolvePending(a, b, report)
-				report.Replacements++
-			}
-		default:
-			o.applyFigure4WithCost(av, a, b, h, pr.ah, report)
+			}(&ms.reports[w])
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			foldMergeReport(report, &ms.reports[w])
 		}
 	}
-	o.propBuf = props[:0]
+
+	// Serial fallback, stream order, after the parallel batch: the later
+	// member of every conflicting pair lands here, so conflicting
+	// proposals apply in exactly the serial merge's order.
+	cx := applyCtx{report: report}
+	for _, g := range ms.serIdx {
+		cx.tx = &txs[g]
+		o.applySegment(props[ms.off[g]:ms.off[g+1]], &cx)
+	}
+
+	// Publish the buffered bookkeeping in segment (= stream) order: the
+	// journal, version, and edge count come out as a pure function of the
+	// merged stream, independent of worker scheduling.
+	for i := range txs {
+		o.net.CommitStaged(&txs[i])
+	}
+}
+
+// foldMergeReport folds a worker-local report into the round report.
+// Only counters the apply path can touch appear here, and all are
+// integers, so the fold is exact and order-free. Anything new the apply
+// path learns to count must be added to this list.
+func foldMergeReport(dst, src *StepReport) {
+	dst.Replacements += src.Replacements
+	dst.KeptNew += src.KeptNew
+	dst.Abandoned += src.Abandoned
+	dst.BlacklistHits += src.BlacklistHits
+	dst.FailedConnects += src.FailedConnects
+}
+
+// applySegment revalidates and applies one conflict segment in stream
+// order through cx.
+func (o *Optimizer) applySegment(props []proposal, cx *applyCtx) {
+	for i := range props {
+		o.applyOne(cx, &props[i])
+	}
+}
+
+// applyOne revalidates one proposal against the live network (an earlier
+// merged proposal may have consumed the edge, saturated the candidate,
+// or blacklisted it) and applies it through the exact mutation paths the
+// serial engine uses. The triangle costs ride in the proposal — float32
+// round-trips of the oracle's float32 vectors, widened back bit-exactly
+// — so no cost vector is fetched here.
+func (o *Optimizer) applyOne(cx *applyCtx, pr *proposal) {
+	a, b, h := overlay.PeerID(pr.a), overlay.PeerID(pr.b), overlay.PeerID(pr.h)
+	if !o.net.Alive(a) || !o.net.Alive(b) || !o.net.Alive(h) {
+		return
+	}
+	if !o.net.HasEdge(a, b) || o.net.HasEdge(a, h) || o.atCap(h) {
+		return
+	}
+	if o.blacklisted(h) {
+		cx.report.BlacklistHits++
+		return
+	}
+	switch pr.kind {
+	case propNaive:
+		// The naive policy decided at propose time (candidate beat the
+		// worst neighbor); the merge only applies it safely.
+		if o.net.Degree(b) > 1 && o.connectCtx(cx, a, h) {
+			if !o.safeCutCtx(cx, a, b) {
+				o.disconnectCtx(cx, a, h)
+				return
+			}
+			o.resolvePendingCtx(cx, a, b)
+			cx.report.Replacements++
+		}
+	default:
+		o.applyFigure4Decided(cx, a, b, h, float64(pr.ah), float64(pr.ab), float64(pr.bh))
+	}
 }

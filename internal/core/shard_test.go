@@ -81,6 +81,65 @@ func TestShardedDeterministicUnderFaults(t *testing.T) {
 	}
 }
 
+// TestParallelMergeProperty is the parallel merge's property test: at
+// shard counts {1, 2, 5, 8}, 65 churn rounds under fault injection run
+// twice with the same seed — once through the conflict-partitioned
+// parallel apply, once with forceSerialMerge pinning the stream-order
+// serial apply — and the two trajectories must match bit for bit
+// (reports including float traffic sums, per-peer states, edges).
+// Alongside, every parallel-side report must conserve its tallies:
+// accepted rewires cannot exceed probes, serial fallbacks cannot exceed
+// segments, segments cannot exceed probes, and the single-shard engine
+// must never segment at all. Runs under -race in CI, where the
+// conflict-partition claims discipline is also exercised for data races.
+func TestParallelMergeProperty(t *testing.T) {
+	const seed = 20260815
+	const rounds = 65
+	plan := fault.Plan{ProbeTimeoutRate: 0.12, ConnectFailRate: 0.08, Seed: 7}
+	for _, shards := range []int{1, 2, 5, 8} {
+		t.Run(shardLabel(shards), func(t *testing.T) {
+			cfg := DefaultConfig(2)
+			cfg.Shards = shards
+
+			par := newDiffSide(t, seed, cfg)
+			ser := newDiffSide(t, seed, cfg)
+			ser.opt.forceSerialMerge = true
+			par.net.SetFaults(newInjector(t, plan))
+			ser.net.SetFaults(newInjector(t, plan))
+			for r := 0; r < rounds; r++ {
+				par.churnStep(2)
+				ser.churnStep(2)
+				rp := par.opt.Round(par.round)
+				rs := ser.opt.Round(ser.round)
+				if stripTiming(rp) != stripTiming(rs) {
+					t.Fatalf("round %d: parallel and serial merge diverged\nparallel: %+v\nserial:   %+v",
+						r, rp, rs)
+				}
+				requireSameStates(t, r, par.opt, ser.opt, par.net.N())
+				requireSameEdges(t, r, par.net, ser.net)
+
+				if rp.Replacements+rp.KeptNew > rp.Probes {
+					t.Fatalf("round %d: %d accepted rewires exceed %d probes",
+						r, rp.Replacements+rp.KeptNew, rp.Probes)
+				}
+				if rp.MergeSerialFallbacks > rp.MergeSegments {
+					t.Fatalf("round %d: %d serial fallbacks exceed %d segments",
+						r, rp.MergeSerialFallbacks, rp.MergeSegments)
+				}
+				if rp.MergeSegments > rp.Probes {
+					t.Fatalf("round %d: %d segments exceed %d probes", r, rp.MergeSegments, rp.Probes)
+				}
+				if shards == 1 && rp.MergeSegments != 0 {
+					t.Fatalf("round %d: single-shard engine reported %d segments", r, rp.MergeSegments)
+				}
+				if rp.ProposeImbalance < 0 || rp.ShardImbalance < 0 {
+					t.Fatalf("round %d: negative imbalance %+v", r, rp)
+				}
+			}
+		})
+	}
+}
+
 // TestShardedRepeatRunsIdentical runs the same sharded configuration
 // twice end to end: with the goroutine schedule as the only source of
 // variation between the runs, any divergence means a schedule dependency

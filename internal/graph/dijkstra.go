@@ -1,9 +1,6 @@
 package graph
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // Inf is the distance reported for unreachable nodes.
 var Inf = math.Inf(1)
@@ -13,13 +10,54 @@ type pqItem struct {
 	dist float64
 }
 
+// pq is a binary min-heap on dist, sifted directly on the slice.
+// container/heap would box every pqItem through `any` — one heap
+// allocation per push and per pop, the single largest allocation slab of
+// a large round (the oracle recomputes cost vectors through Dijkstra).
+// The sift loops mirror container/heap's up/down comparisons exactly, so
+// items with equal dist pop in the identical order and the parent trees
+// and MSTs built from them are unchanged.
 type pq []pqItem
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+// push appends it and sifts it up.
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	h := *q
+	j := len(h) - 1
+	for {
+		i := (j - 1) / 2
+		if i == j || !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+// pop removes and returns the minimum item.
+func (q *pq) pop() pqItem {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].dist < h[j].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	*q = h[:n]
+	return it
+}
 
 // Dijkstra computes single-source shortest paths from src. It returns the
 // distance to every node (Inf when unreachable) and the parent of every
@@ -38,7 +76,7 @@ func Dijkstra(g *Graph, src int) (dist []float64, parent []int) {
 	dist[src] = 0
 	q := pq{{node: src}}
 	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
+		it := q.pop()
 		if it.dist > dist[it.node] {
 			continue // stale entry
 		}
@@ -46,11 +84,56 @@ func Dijkstra(g *Graph, src int) (dist []float64, parent []int) {
 			if nd := it.dist + a.W; nd < dist[a.To] {
 				dist[a.To] = nd
 				parent[a.To] = it.node
-				heap.Push(&q, pqItem{node: a.To, dist: nd})
+				q.push(pqItem{node: a.To, dist: nd})
 			}
 		}
 	}
 	return dist, parent
+}
+
+// DijkstraScratch holds the working arrays of DijkstraDistInto so
+// repeated single-source computations (the delay oracle's vector fills)
+// reuse the distance slice and the heap instead of allocating two
+// words per node per call.
+type DijkstraScratch struct {
+	dist []float64
+	q    pq
+}
+
+// DijkstraDistInto is Dijkstra without the parent array, for callers
+// that need only distances: it computes single-source shortest-path
+// distances from src into scratch and returns the distance slice, which
+// is owned by scratch and valid until its next use. The relaxation
+// sequence is identical to Dijkstra's, so the distances are bit-equal.
+func DijkstraDistInto(s *DijkstraScratch, g *Graph, src int) []float64 {
+	n := g.N()
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+	}
+	dist := s.dist[:n]
+	for i := range dist {
+		dist[i] = Inf
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	q := s.q[:0]
+	q.push(pqItem{node: src})
+	for len(q) > 0 {
+		it := q.pop()
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for _, a := range g.Neighbors(it.node) {
+			if nd := it.dist + a.W; nd < dist[a.To] {
+				dist[a.To] = nd
+				q.push(pqItem{node: a.To, dist: nd})
+			}
+		}
+	}
+	s.q = q[:0]
+	return dist
 }
 
 // PathTo reconstructs the shortest path src→dst from a Dijkstra parent

@@ -1,9 +1,6 @@
 package graph
 
-import (
-	"container/heap"
-	"slices"
-)
+import "slices"
 
 // PrimMST computes a minimum spanning tree of the subgraph described by
 // nodes and edges, rooted at root. Nodes are arbitrary (not necessarily
@@ -45,7 +42,7 @@ func PrimMST(nodes []int, edges []Edge, root int) (tree []Edge, connected bool) 
 	q := pq{{node: ri}}
 	tree = make([]Edge, 0, len(nodes)-1)
 	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
+		it := q.pop()
 		u := it.node
 		if inTree[u] {
 			continue
@@ -58,7 +55,7 @@ func PrimMST(nodes []int, edges []Edge, root int) (tree []Edge, connected bool) 
 			if !inTree[a.To] && a.W < best[a.To] {
 				best[a.To] = a.W
 				from[a.To] = u
-				heap.Push(&q, pqItem{node: a.To, dist: a.W})
+				q.push(pqItem{node: a.To, dist: a.W})
 			}
 		}
 	}

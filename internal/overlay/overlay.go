@@ -288,9 +288,16 @@ func removeSorted(s []PeerID, q PeerID) []PeerID {
 // record appends one journal entry and advances the version, shedding the
 // oldest half of the journal when it outgrows journalCap.
 func (n *Network) record(kind EventKind, p, q PeerID) {
-	if len(n.journal) >= n.journalCap() {
+	if c := n.journalCap(); len(n.journal) >= c {
 		drop := len(n.journal) / 2
-		n.journal = append(n.journal[:0:0], n.journal[drop:]...)
+		// The shed must move survivors to a fresh backing array — slices
+		// handed out by EventsSince may still be in flight — but sizing it
+		// to the full cap up front keeps appends from regrowing it before
+		// the next shed: one bounded allocation per cap/2 events instead
+		// of a doubling ladder, which at million-peer scale was a leading
+		// source of GC churn.
+		nj := make([]Event, 0, c)
+		n.journal = append(nj, n.journal[drop:]...)
 		n.journalBase += uint64(drop)
 	}
 	n.journal = append(n.journal, Event{Kind: kind, P: p, Q: q})

@@ -1,0 +1,78 @@
+package overlay
+
+// Staged mutations are the overlay half of the parallel cross-shard
+// merge (internal/core, shard.go): Connect/Disconnect variants that
+// update the adjacency lists immediately but buffer the shared
+// bookkeeping — the journal append, the version bump, the edge counter —
+// into a caller-owned StagedTx. Disjoint peer sets may then mutate
+// concurrently (each call touches only its two endpoints' adjacency
+// slices), and CommitStaged publishes the buffered entries in whatever
+// order the caller fixes, keeping the journal deterministic no matter
+// how the concurrent work was scheduled.
+//
+// The caller owns the disjointness contract: two StagedTx instances may
+// be driven from different goroutines ONLY while the peer sets they
+// touch do not intersect and no other reader depends on the journal,
+// the version, or the edge count mid-flight. Staged calls also require
+// both endpoints live — the dangling-purge path of Disconnect touches
+// shared crash bookkeeping, so callers revalidate liveness first (the
+// merge does, as part of revalidating each proposal).
+
+// StagedTx buffers the journal entries of staged connects/disconnects
+// until CommitStaged publishes them. The zero value is ready to use;
+// Reset empties it for reuse without releasing its backing array.
+type StagedTx struct {
+	events []Event
+}
+
+// Reset empties the transaction, keeping capacity for reuse.
+func (tx *StagedTx) Reset() { tx.events = tx.events[:0] }
+
+// Len reports how many staged entries the transaction holds.
+func (tx *StagedTx) Len() int { return len(tx.events) }
+
+// ConnectStaged is Connect with the journal/version/edge bookkeeping
+// buffered into tx. It mutates only p's and q's adjacency slices, so
+// calls on disjoint peer sets may run concurrently.
+func (n *Network) ConnectStaged(tx *StagedTx, p, q PeerID) bool {
+	if p == q || !n.alive[p] || !n.alive[q] || n.HasEdge(p, q) {
+		return false
+	}
+	n.nbr[p] = insertSorted(n.nbr[p], q)
+	n.nbr[q] = insertSorted(n.nbr[q], p)
+	tx.events = append(tx.events, Event{Kind: EventConnect, P: p, Q: q})
+	return true
+}
+
+// DisconnectStaged is Disconnect with the bookkeeping buffered into tx.
+// Unlike Disconnect it never routes to the dangling-purge path: both
+// endpoints must be live, and a call with a dead endpoint reports false
+// without changing state.
+func (n *Network) DisconnectStaged(tx *StagedTx, p, q PeerID) bool {
+	if !n.alive[p] || !n.alive[q] || !n.HasEdge(p, q) {
+		return false
+	}
+	n.nbr[p] = removeSorted(n.nbr[p], q)
+	n.nbr[q] = removeSorted(n.nbr[q], p)
+	tx.events = append(tx.events, Event{Kind: EventDisconnect, P: p, Q: q})
+	return true
+}
+
+// CommitStaged publishes staged transactions: every buffered entry lands
+// in the journal (bumping the version and the edge counter exactly as
+// the direct call would have) in the order given — first by transaction,
+// then by staging order within each. Must run with no staged calls in
+// flight; the transactions are NOT reset, so callers can reuse or
+// inspect them afterwards.
+func (n *Network) CommitStaged(txs ...*StagedTx) {
+	for _, tx := range txs {
+		for _, ev := range tx.events {
+			if ev.Kind == EventConnect {
+				n.edges++
+			} else {
+				n.edges--
+			}
+			n.record(ev.Kind, ev.P, ev.Q)
+		}
+	}
+}

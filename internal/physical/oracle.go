@@ -37,6 +37,11 @@ type Oracle struct {
 	// read lock per delay lookup.
 	flat []atomic.Pointer[[]float32]
 
+	// scratch pools DijkstraScratch instances across concurrent vector
+	// fills: a fill's float64 working distances and heap are reused,
+	// leaving only the cached float32 vector as a per-source allocation.
+	scratch sync.Pool
+
 	// Activity counters live in the obs registry (ace.physical.*) as
 	// always-on per-instance counters: an unconditional atomic add costs
 	// exactly what the former bespoke atomics did, Stats() keeps its seed
@@ -126,11 +131,16 @@ func (o *Oracle) Delay(u, v int) float64 {
 // vector returns the cached distance vector for src, computing and
 // inserting it if absent.
 func (o *Oracle) vector(src int) []float32 {
-	dist, _ := graph.Dijkstra(o.g, src)
+	s, _ := o.scratch.Get().(*graph.DijkstraScratch)
+	if s == nil {
+		s = new(graph.DijkstraScratch)
+	}
+	dist := graph.DijkstraDistInto(s, o.g, src)
 	vec := make([]float32, len(dist))
 	for i, d := range dist {
 		vec[i] = float32(d)
 	}
+	o.scratch.Put(s)
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if existing, ok := o.cache[src]; ok {

@@ -119,9 +119,15 @@ else
         -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/physical/ | tee -a "$TMP"
 fi
 
+# Host record: single-core container numbers look wildly different from
+# multi-core ones, so every emitted baseline carries the environment it
+# was measured in instead of relying on a prose footnote.
+NUMCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc)"
+
 {
-    printf '{\n  "benchtime": "%s",\n  "go": "%s",\n  "benchmarks": [\n' \
-        "$BENCHTIME" "$(go env GOVERSION)"
+    printf '{\n  "benchtime": "%s",\n  "go": "%s",\n  "numcpu": %s,\n  "gomaxprocs": %s,\n  "os": "%s",\n  "arch": "%s",\n  "benchmarks": [\n' \
+        "$BENCHTIME" "$(go env GOVERSION)" "$NUMCPU" "${GOMAXPROCS:-$NUMCPU}" \
+        "$(go env GOHOSTOS)" "$(go env GOHOSTARCH)"
     awk '
         /^Benchmark/ {
             name = $1; sub(/-[0-9]+$/, "", name)
@@ -148,6 +154,12 @@ if [ -n "$COMPARE" ]; then
             name = substr(line, RSTART + 9, RLENGTH - 10)
             match(line, /"ns\/op": [0-9.e+-]+/)
             ns = substr(line, RSTART + 9, RLENGTH - 9) + 0
+            # merge-ns/op (sharded rounds only) gates alongside ns/op: a
+            # benchmark that holds its total but regresses its merge is
+            # exactly the regression this metric exists to catch.
+            mns = -1
+            if (match(line, /"merge-ns\/op": [0-9.e+-]+/))
+                mns = substr(line, RSTART + 15, RLENGTH - 15) + 0
         }
         # Asymmetric fold: the baseline folds repeated entries to their
         # median (typical committed performance — one lucky-fast write
@@ -166,15 +178,27 @@ if [ -n "$COMPARE" ]; then
                 return vals[m]
             return (vals[m] + vals[m + 1]) / 2
         }
+        # Merge rows ride the same min/median/gate machinery as ns/op
+        # rows under a ":merge-ns/op"-suffixed name, so a -failonly
+        # pattern matching the benchmark gates both metrics.
         /"name"/ && FILENAME == ARGV[1] {
             parse($0)
             bvals[name, ++bcnt[name]] = ns
+            if (mns >= 0) {
+                mn = name ":merge-ns/op"
+                bvals[mn, ++bcnt[mn]] = mns
+            }
             next
         }
         /"name"/ {
             parse($0)
             if (!(name in ccnt)) order[k++] = name
             cvals[name, ++ccnt[name]] = ns
+            if (mns >= 0) {
+                mn = name ":merge-ns/op"
+                if (!(mn in ccnt)) order[k++] = mn
+                cvals[mn, ++ccnt[mn]] = mns
+            }
         }
         END {
             printf "%-55s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta"
