@@ -230,6 +230,10 @@ func main() {
 			fmt.Printf("      round %d: rebuild %.2fms  phase3 %.2fms  repair %.2fms  probes %d  exchange %.0f\n",
 				k, float64(rep.RebuildNanos)/1e6, float64(rep.Phase3Nanos)/1e6,
 				float64(rep.RepairNanos)/1e6, rep.Probes, rep.ExchangeCost)
+			if rep.RepairHits > 0 || rep.RepairFallbacks > 0 {
+				fmt.Printf("      mst-repair: hits %d  fallbacks %d  attach %d  swap %d\n",
+					rep.RepairHits, rep.RepairFallbacks, rep.AttachOps, rep.SwapOps)
+			}
 			if rep.Shards > 0 {
 				fmt.Printf("      shards %d: merge %.2fms (sort %.2fms, %d segments, %d serial)  imbalance build %.1f%% propose %.1f%%\n",
 					rep.Shards, float64(rep.MergeNanos)/1e6, float64(rep.MergeSortNanos)/1e6,
@@ -248,6 +252,8 @@ func main() {
 				RebuildNanos: rep.RebuildNanos, Phase3Nanos: rep.Phase3Nanos, RepairNanos: rep.RepairNanos,
 				Probes: rep.Probes, Replacements: rep.Replacements, KeptNew: rep.KeptNew,
 				DeferredCuts: rep.DeferredCuts, Abandoned: rep.Abandoned, Repairs: rep.Repairs,
+				RepairHits: rep.RepairHits, RepairFallbacks: rep.RepairFallbacks,
+				AttachOps: rep.AttachOps, SwapOps: rep.SwapOps,
 				ProbeTraffic: rep.ProbeTraffic, ExchangeCost: rep.ExchangeCost,
 				AvgDegree:    sys.Network().AverageDegree(),
 				QueryTraffic: t, QueryResponse: r, QueryScope: s,

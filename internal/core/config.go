@@ -128,6 +128,12 @@ type Config struct {
 	// states from scratch — the pre-journal behavior, kept as the
 	// reference side of the differential tests and as an escape hatch.
 	NoIncremental bool
+	// NoRepair disables the incremental tree-repair kernel (repair.go):
+	// dirty peers always rebuild their closure MST with dense Prim, as
+	// before PR 8. The canonical MST is unique, so the trajectory is
+	// identical either way — this is the reference side of the
+	// repair-vs-full differential tests and an escape hatch.
+	NoRepair bool
 
 	// Fault-hardening knobs. They shape how the protocol reacts to an
 	// attached fault.Injector; with no injector none of them is ever

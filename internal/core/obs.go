@@ -25,6 +25,16 @@ var (
 	// Dirty-region size per incremental rebuild (peers, log₂ buckets).
 	hDirtyRegion = obs.NewHistogram("ace.core.rebuild.dirty_region")
 
+	// Incremental tree-repair outcomes (see repair.go): dirty states
+	// repaired from the previous round's tree vs. rebuilt with dense
+	// Prim, and the member-splice / edge-swap op counts inside the
+	// repairs. Folded once per rebuild pass from the worker tallies, not
+	// per peer, so the hot path stays branch-free.
+	cRepairHits      = obs.NewCounter("ace.core.rebuild.repair_hits")
+	cRepairFallbacks = obs.NewCounter("ace.core.rebuild.repair_fallbacks")
+	cAttachOps       = obs.NewCounter("ace.core.rebuild.attach_ops")
+	cSwapOps         = obs.NewCounter("ace.core.rebuild.swap_ops")
+
 	// Phase-3 outcome counters: probes issued, Figure-4(b) replacements
 	// accepted, Figure-4(c) tentative keeps accepted, and probes whose
 	// candidate was rejected (Figure 4(d) or a refused/failed connect).

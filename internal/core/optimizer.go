@@ -56,6 +56,11 @@ type Optimizer struct {
 	synced bool
 	stats  RebuildStats
 
+	// lastRepair aggregates the repair-path outcomes of the most recent
+	// rebuild pass, folded serially from the worker tallies (so the
+	// totals are deterministic for every worker count and schedule).
+	lastRepair repairTally
+
 	// rev is the reverse closure index (see revindex.go): rev.forEach(m)
 	// visits the peers whose last-built closure contains m, flagged
 	// interior when m sits at depth ≤ h−1 (only interior members can
@@ -131,10 +136,13 @@ const MaxPending = 2
 // DefaultRebuildFraction is the dirty-region share of the live population
 // above which the incremental path falls back to a full rebuild. The
 // reverse closure index makes the dirty set exact and nearly free to
-// compute, so rebuilding k dirty peers costs about k/N of a full sweep
-// plus the index bookkeeping; the break-even sits near the whole
-// population, not at a small fraction.
-const DefaultRebuildFraction = 0.8
+// compute, and with the repair kernel a dirty peer usually costs less
+// than a from-scratch build (the dense Prim is skipped): the incremental
+// path now wins even when every live peer is dirty — a full rebuild
+// additionally clears all cached states, which forfeits repair entirely.
+// So the default never falls back on size; the full path remains for
+// desyncs and explicit NoIncremental runs.
+const DefaultRebuildFraction = 1.0
 
 // StepReport summarizes one ACE round for instrumentation and tests.
 type StepReport struct {
@@ -185,6 +193,20 @@ type StepReport struct {
 	MergeSerialFallbacks int     // segments applied serially (shared an endpoint)
 	ShardImbalance       float64 // max shard's states built over the mean, −1
 	ProposeImbalance     float64 // max shard's proposal count over the mean, −1
+
+	// Incremental tree-repair diagnostics (see repair.go); engine
+	// bookkeeping like the sharded-engine fields above, zeroed by
+	// differential tests before comparing trajectories. RepairHits counts
+	// dirty states whose tree was repaired from the previous round
+	// without a dense Prim; RepairFallbacks counts dirty states that ran
+	// dense construction anyway (no prior state, delta past the
+	// threshold, or repair disabled for the round); AttachOps and SwapOps
+	// count the members spliced in and the tree edges displaced while
+	// repairing.
+	RepairHits      int
+	RepairFallbacks int
+	AttachOps       int
+	SwapOps         int
 }
 
 // NewOptimizer validates cfg and attaches an optimizer to net. No state
@@ -249,6 +271,7 @@ func (o *Optimizer) RebuildTrees() float64 {
 // rebuild brings o.state in sync with the network, choosing between the
 // dirty-region and full paths.
 func (o *Optimizer) rebuild(peers []overlay.PeerID) {
+	o.lastRepair = repairTally{}
 	events, next, ok := o.net.EventsSince(o.cursor)
 	if o.synced && ok && !o.cfg.NoIncremental {
 		if len(events) == 0 && len(o.exclFlips) == 0 {
@@ -266,12 +289,36 @@ func (o *Optimizer) rebuild(peers []overlay.PeerID) {
 	clear(o.state)
 	clear(o.contrib)
 	o.rev.reset()
-	o.buildStates(peers)
+	o.buildStates(peers, nil)
 	o.stats.Full++
 	cRebuildFull.Inc()
 	o.cursor = next
 	o.synced = true
 	o.net.CompactJournal(o.cursor)
+}
+
+// repairCtxFor returns the repair context for a dirty-region rebuild, or
+// nil when the repair path is off for this round: disabled by config,
+// meaningless under the sparse ablation (trees depend on overlay edges,
+// not just membership), or — per the fallback policy — whenever
+// staleness exclusions flipped, which perturbs closures in bulk; those
+// rounds take the existing dense construction for every dirty peer.
+// revIdle reports whether the reverse closure index has no possible
+// reader under this configuration, so its maintenance can be skipped
+// entirely. At h = 1 the only interior member of a closure is the peer
+// itself: event-endpoint resolution never consults postings, and
+// staleness flips resolve exactly through the live 1-hop adjacency (see
+// dirtyRegion). Deeper closures and the sparse ablation (which dirties
+// on non-interior holders too) genuinely read the index.
+func (o *Optimizer) revIdle() bool {
+	return o.cfg.Depth == 1 && !o.cfg.SparseKnowledge
+}
+
+func (o *Optimizer) repairCtxFor() *repairCtx {
+	if o.cfg.NoRepair || o.cfg.SparseKnowledge || len(o.exclFlips) > 0 {
+		return nil
+	}
+	return &repairCtx{states: o.state, recycle: o.revIdle()}
 }
 
 // dirtyRegion resolves the journaled endpoints against the reverse
@@ -325,20 +372,35 @@ func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) *peerBitset 
 		}
 	}
 	o.dirtyBuf = endpoints[:0]
-	if s := o.fanWidth(o.shardCount(), len(endpoints)); s > 1 && len(endpoints) >= 2*s {
-		o.scanPostingsSharded(dirty, endpoints, sparse, s)
-	} else {
-		for _, e := range endpoints {
-			o.rev.forEach(e, func(p overlay.PeerID, interior bool) {
-				if interior || sparse {
-					dirty.set(p)
-				}
-			})
+	if o.revIdle() {
+		// h = 1 dense: the posting scan below can add nothing (the only
+		// interior member of a 1-closure is the peer itself, already set
+		// as an event endpoint), and a staleness flip's holders resolve
+		// exactly through the CURRENT adjacency — a holder the adjacency
+		// misses lost its edge to f this round and is already dirty as
+		// that event's endpoint.
+		for _, f := range o.exclFlips {
+			dirty.set(f)
+			for _, q := range o.net.NeighborsView(f) {
+				dirty.set(q)
+			}
 		}
-	}
-	for _, f := range o.exclFlips {
-		dirty.set(f)
-		o.rev.forEach(f, func(p overlay.PeerID, _ bool) { dirty.set(p) })
+	} else {
+		if s := o.fanWidth(o.shardCount(), len(endpoints)); s > 1 && len(endpoints) >= 2*s {
+			o.scanPostingsSharded(dirty, endpoints, sparse, s)
+		} else {
+			for _, e := range endpoints {
+				o.rev.forEach(e, func(p overlay.PeerID, interior bool) {
+					if interior || sparse {
+						dirty.set(p)
+					}
+				})
+			}
+		}
+		for _, f := range o.exclFlips {
+			dirty.set(f)
+			o.rev.forEach(f, func(p overlay.PeerID, _ bool) { dirty.set(p) })
+		}
 	}
 	if dirty.count() > limit {
 		return nil
@@ -349,10 +411,13 @@ func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) *peerBitset 
 // rebuildDirty drops state of departed peers and rebuilds the live dirty
 // region, leaving every other cached PeerState untouched.
 func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty *peerBitset, peers []overlay.PeerID) {
+	revIdle := o.revIdle()
 	for _, ev := range events {
 		if ev.Kind == overlay.EventLeave || ev.Kind == overlay.EventCrash {
-			if old := o.state[ev.P]; old != nil {
-				o.rev.drop(ev.P, old)
+			if !revIdle {
+				if old := o.state[ev.P]; old != nil {
+					o.rev.drop(ev.P, old)
+				}
 			}
 			o.state[ev.P] = nil
 			o.contrib[ev.P] = 0
@@ -364,7 +429,7 @@ func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty *peerBitset, peer
 			list = append(list, p)
 		}
 	}
-	o.buildStates(list)
+	o.buildStates(list, o.repairCtxFor())
 	o.dirtyBuf = list[:0]
 	o.stats.Incremental++
 	cRebuildIncremental.Inc()
@@ -377,12 +442,12 @@ func (o *Optimizer) rebuildDirty(events []overlay.Event, dirty *peerBitset, peer
 // contributions in deterministic order. The serial engine distributes
 // work over a pool of GOMAXPROCS workers; the sharded engine assigns
 // each peer to the shard owning its id range (shard.go).
-func (o *Optimizer) buildStates(list []overlay.PeerID) {
+func (o *Optimizer) buildStates(list []overlay.PeerID, rc *repairCtx) {
 	if len(list) == 0 {
 		return
 	}
 	if s := o.fanWidth(o.shardCount(), len(list)); s > 1 {
-		o.buildStatesSharded(list, s)
+		o.buildStatesSharded(list, s, rc)
 		return
 	}
 	states := o.stateSlots(len(list))
@@ -393,10 +458,13 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 	for len(o.scratch) < workers {
 		o.scratch = append(o.scratch, &buildScratch{})
 	}
+	for w := 0; w < workers; w++ {
+		o.scratch[w].tally = repairTally{}
+	}
 	if workers <= 1 {
 		sc := o.scratch[0]
 		for i, p := range list {
-			states[i] = buildState(sc, o.net, p, o.cfg.Depth, o.cfg.SparseKnowledge, o.excluded)
+			states[i] = buildState(sc, o.net, p, &o.cfg, o.excluded, rc)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -406,7 +474,7 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 			go func(sc *buildScratch) {
 				defer wg.Done()
 				for i := range work {
-					states[i] = buildState(sc, o.net, list[i], o.cfg.Depth, o.cfg.SparseKnowledge, o.excluded)
+					states[i] = buildState(sc, o.net, list[i], &o.cfg, o.excluded, rc)
 				}
 			}(o.scratch[w])
 		}
@@ -416,7 +484,30 @@ func (o *Optimizer) buildStates(list []overlay.PeerID) {
 		close(work)
 		wg.Wait()
 	}
+	for w := 0; w < workers; w++ {
+		o.noteRepair(o.scratch[w].tally)
+	}
 	o.commitStates(list, states)
+}
+
+// noteRepair folds one worker's repair tally into the round aggregate
+// and the obs counters. Callers invoke it serially after their fan-out
+// completes, in worker order — the sums are order-free, but the habit
+// keeps every engine path deterministic by construction.
+func (o *Optimizer) noteRepair(t repairTally) {
+	o.lastRepair.add(t)
+	if t.hits != 0 {
+		cRepairHits.Add(uint64(t.hits))
+	}
+	if t.fallbacks != 0 {
+		cRepairFallbacks.Add(uint64(t.fallbacks))
+	}
+	if t.attachOps != 0 {
+		cAttachOps.Add(uint64(t.attachOps))
+	}
+	if t.swapOps != 0 {
+		cSwapOps.Add(uint64(t.swapOps))
+	}
 }
 
 // stateSlots returns a zeroed pooled slice for freshly built states.
@@ -444,39 +535,33 @@ func (o *Optimizer) commitStates(list []overlay.PeerID, states []*PeerState) {
 		o.contrib = append(o.contrib, make([]float64, n-len(o.contrib))...)
 		o.pending = append(o.pending, make([]map[overlay.PeerID]pendingCut, n-len(o.pending))...)
 	}
-	o.rev.ensure(o.net.N())
+	revIdle := o.revIdle()
+	if !revIdle {
+		o.rev.ensure(o.net.N())
+	}
 	interiorMax := int32(o.cfg.Depth - 1)
 	for i, p := range list {
-		if old := o.state[p]; old != nil {
-			o.rev.drop(p, old)
+		if states[i] == o.state[p] {
+			// Identity-reused state (see buildState's fast path): its
+			// postings, contribution and slot are all already current —
+			// a drop/add cycle would only churn the index toward its
+			// compaction threshold.
+			continue
 		}
-		o.rev.add(p, states[i], interiorMax)
+		if !revIdle {
+			if old := o.state[p]; old != nil {
+				o.rev.drop(p, old)
+			}
+			o.rev.add(p, states[i], interiorMax)
+		}
 		o.state[p] = states[i]
-		o.contrib[p] = o.exchangeContribution(p, states[i])
+		o.contrib[p] = states[i].contrib
 	}
-	o.rev.compactIfNeeded()
+	if !revIdle {
+		o.rev.compactIfNeeded()
+	}
 	o.stats.PeersRebuilt += len(list)
 	cPeersRebuilt.Add(uint64(len(list)))
-}
-
-// exchangeContribution prices one peer's share of a cost-table exchange
-// cycle: it re-probes its direct neighbors and ships its accumulated
-// pairwise cost knowledge (which grows with the closure,
-// |closure|·(|closure|−1)/2 entries) to every neighbor. Message bytes
-// scale with entry count; transport cost scales with the physical delay
-// of the logical link.
-func (o *Optimizer) exchangeContribution(p overlay.PeerID, st *PeerState) float64 {
-	entries := float64(st.KnownPairs)
-	total := 0.0
-	cv := o.net.CostsFrom(p)
-	for _, q := range o.net.NeighborsView(p) {
-		link := cv.To(q)
-		// One probe round trip plus one table message per neighbor
-		// per cycle; the table message pays a fixed header plus its
-		// entries.
-		total += link * (o.cfg.ProbeCost + o.cfg.ExchangeHeaderCost + o.cfg.TableEntryCost*entries)
-	}
-	return total
 }
 
 // exchangeCost sums the cached per-peer contributions in ascending peer
@@ -514,6 +599,7 @@ func (o *Optimizer) Round(rng *sim.RNG) StepReport {
 	report := StepReport{}
 	o.faultPhase(peers, &report)
 	o.rebuild(peers)
+	o.lastRepair.fill(&report)
 	cost := o.exchangeCost(peers)
 	o.totalOverhead += cost
 	report.ExchangeCost = cost

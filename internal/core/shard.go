@@ -264,7 +264,7 @@ func (o *Optimizer) ownerSpans(list []overlay.PeerID, s int) [][2]int {
 // scratch arena, and the shared serial commit path installs them in
 // list order. States are pure functions of the frozen network, so the
 // result is bit-identical to the serial engine's.
-func (o *Optimizer) buildStatesSharded(list []overlay.PeerID, s int) {
+func (o *Optimizer) buildStatesSharded(list []overlay.PeerID, s int, rc *repairCtx) {
 	states := o.stateSlots(len(list))
 	shards := o.ensureShards(s)
 	spans := o.ownerSpans(list, s)
@@ -275,6 +275,7 @@ func (o *Optimizer) buildStatesSharded(list []overlay.PeerID, s int) {
 		sub := list[spans[k][0]:spans[k][1]]
 		out := states[spans[k][0]:spans[k][1]]
 		sh.built = len(sub)
+		sh.scratch.tally = repairTally{}
 		if len(sub) > maxBuilt {
 			maxBuilt = len(sub)
 		}
@@ -285,11 +286,26 @@ func (o *Optimizer) buildStatesSharded(list []overlay.PeerID, s int) {
 		go func(sh *shardState, sub []overlay.PeerID, out []*PeerState) {
 			defer wg.Done()
 			for i, p := range sub {
-				out[i] = buildState(&sh.scratch, o.net, p, o.cfg.Depth, o.cfg.SparseKnowledge, o.excluded)
+				st := buildState(&sh.scratch, o.net, p, &o.cfg, o.excluded, rc)
+				if rc != nil && rc.recycle {
+					// The state this one replaces is dead the moment the
+					// build finishes (nothing re-reads it before commit
+					// on recycle-eligible rounds) — reclaim its slabs for
+					// the next build on this shard. The identity fast
+					// path returns the old state itself; never reclaim
+					// a state that is still the live result.
+					if old := rc.states[p]; old != nil && old != st {
+						sh.scratch.recycleSlabs(old)
+					}
+				}
+				out[i] = st
 			}
 		}(sh, sub, out)
 	}
 	wg.Wait()
+	for k := 0; k < s; k++ {
+		o.noteRepair(shards[k].scratch.tally)
+	}
 	o.lastImbalance = float64(maxBuilt)/(float64(len(list))/float64(s)) - 1
 	if obs.Enabled() {
 		for k := 0; k < s; k++ {
@@ -373,6 +389,7 @@ func (o *Optimizer) roundSharded(rng *sim.RNG, s int) StepReport {
 	o.lastImbalance = 0
 	o.faultPhase(peers, &report)
 	o.rebuild(peers)
+	o.lastRepair.fill(&report)
 	cost := o.exchangeCost(peers)
 	o.totalOverhead += cost
 	report.ExchangeCost = cost

@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// canonFixture is a complete graph on n nodes with unique int32 keys and
+// a symmetric cost matrix addressed by KEY pair, so the same graph can
+// be presented to Prim under any node numbering.
+type canonFixture struct {
+	keys []int32
+	cost map[[2]int32]float64
+}
+
+// randomCanonFixture draws weights from a tiny value set so ties are the
+// norm, not the exception — the regime the canonical order exists for.
+func randomCanonFixture(rng *rand.Rand, n, distinctWeights int) *canonFixture {
+	f := &canonFixture{cost: make(map[[2]int32]float64)}
+	used := map[int32]bool{}
+	for len(f.keys) < n {
+		k := int32(rng.Intn(10 * n))
+		if !used[k] {
+			used[k] = true
+			f.keys = append(f.keys, k)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := float64(rng.Intn(distinctWeights))
+			f.cost[keyPair(f.keys[i], f.keys[j])] = w
+		}
+	}
+	return f
+}
+
+func keyPair(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
+}
+
+// primEdges runs PrimDenseCanonInto with the fixture's nodes presented
+// in the given order and returns the tree as a sorted list of key pairs.
+func (f *canonFixture) primEdges(perm []int) [][2]int32 {
+	n := len(perm)
+	key := make([]int32, n)
+	for i, p := range perm {
+		key[i] = f.keys[p]
+	}
+	var scratch PrimDenseScratch
+	parent := PrimDenseCanonInto(&scratch, n, key, func(i, j int) float64 {
+		return f.cost[keyPair(key[i], key[j])]
+	})
+	edges := make([][2]int32, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, keyPair(key[parent[v]], key[v]))
+	}
+	slices.SortFunc(edges, func(a, b [2]int32) int {
+		if a[0] != b[0] {
+			return int(a[0] - b[0])
+		}
+		return int(a[1] - b[1])
+	})
+	return edges
+}
+
+// kruskalCanonEdges computes the unique MST under the canonical edge
+// order with an independent algorithm: sort ALL edges by CanonEdgeLess,
+// then Kruskal. With the strict total order the result is the one true
+// canonical MST, so it cross-validates Prim's tie-breaking.
+func (f *canonFixture) kruskalCanonEdges() [][2]int32 {
+	n := len(f.keys)
+	type we struct {
+		w    float64
+		a, b int32
+		i, j int
+	}
+	var all []we
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := f.keys[i], f.keys[j]
+			all = append(all, we{f.cost[keyPair(a, b)], a, b, i, j})
+		}
+	}
+	sort.Slice(all, func(x, y int) bool {
+		return CanonEdgeLess(all[x].w, all[x].a, all[x].b, all[y].w, all[y].a, all[y].b)
+	})
+	uf := NewUnionFind(n)
+	var edges [][2]int32
+	for _, e := range all {
+		if uf.Union(e.i, e.j) {
+			edges = append(edges, keyPair(e.a, e.b))
+		}
+	}
+	slices.SortFunc(edges, func(a, b [2]int32) int {
+		if a[0] != b[0] {
+			return int(a[0] - b[0])
+		}
+		return int(a[1] - b[1])
+	})
+	return edges
+}
+
+// TestCanonPrimPermutationInvariant is the satellite pin: the canonical
+// tree must be a pure function of (member set, cost matrix) — permuting
+// the order nodes are presented in, with weights drawn from a handful of
+// duplicated values, must yield the identical tree as a set of key
+// pairs. This is what makes incremental repair sound: a re-labeled BFS
+// closure still owns the same tree.
+func TestCanonPrimPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(24)
+		f := randomCanonFixture(rng, n, 1+rng.Intn(4))
+		ident := make([]int, n)
+		for i := range ident {
+			ident[i] = i
+		}
+		want := f.primEdges(ident)
+		for rep := 0; rep < 4; rep++ {
+			perm := rng.Perm(n)
+			if got := f.primEdges(perm); !slices.Equal(got, want) {
+				t.Fatalf("trial %d perm %v: tree %v != %v", trial, perm, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonPrimMatchesCanonKruskal cross-validates the tie-breaking
+// against an independent construction of the canonical MST.
+func TestCanonPrimMatchesCanonKruskal(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(20)
+		f := randomCanonFixture(rng, n, 1+rng.Intn(5))
+		ident := make([]int, n)
+		for i := range ident {
+			ident[i] = i
+		}
+		got := f.primEdges(ident)
+		want := f.kruskalCanonEdges()
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d: prim %v != kruskal %v", trial, got, want)
+		}
+	}
+}
+
+// TestCanonPrimMatchesPlainPrimWeight confirms the canonical tree is
+// still A minimum spanning tree: its total weight equals the plain dense
+// Prim's.
+func TestCanonPrimMatchesPlainPrimWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		f := randomCanonFixture(rng, n, 1+rng.Intn(6))
+		cost := func(i, j int) float64 { return f.cost[keyPair(f.keys[i], f.keys[j])] }
+		var s1, s2 PrimDenseScratch
+		canon := PrimDenseCanonInto(&s1, n, f.keys, cost)
+		var wCanon float64
+		for v := 1; v < n; v++ {
+			wCanon += cost(canon[v], v)
+		}
+		// PrimDenseCanonInto's scratch is reused below, so take the sum first.
+		plain := PrimDenseInto(&s2, n, cost)
+		var wPlain float64
+		for v := 1; v < n; v++ {
+			wPlain += cost(plain[v], v)
+		}
+		if wCanon != wPlain {
+			t.Fatalf("trial %d: canonical weight %v != plain weight %v", trial, wCanon, wPlain)
+		}
+	}
+}
+
+func TestCanonEdgeLessTotalOrder(t *testing.T) {
+	type e struct {
+		w    float64
+		a, b int32
+	}
+	es := []e{{1, 2, 3}, {1, 3, 2}, {1, 2, 4}, {1, 1, 9}, {2, 0, 1}, {0, 8, 7}}
+	for i, x := range es {
+		for j, y := range es {
+			lt := CanonEdgeLess(x.w, x.a, x.b, y.w, y.a, y.b)
+			gt := CanonEdgeLess(y.w, y.a, y.b, x.w, x.a, x.b)
+			same := keyPair(x.a, x.b) == keyPair(y.a, y.b) && x.w == y.w
+			if same && (lt || gt) {
+				t.Fatalf("%d/%d: equal edges compare unequal", i, j)
+			}
+			if !same && lt == gt {
+				t.Fatalf("%d/%d: order not strict: lt=%v gt=%v for %v %v", i, j, lt, gt, x, y)
+			}
+		}
+	}
+}
+
+func BenchmarkPrimDenseCanon(b *testing.B) {
+	for _, n := range []int{12, 26} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(53))
+			f := randomCanonFixture(rng, n, 8)
+			m := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i != j {
+						m[i*n+j] = f.cost[keyPair(f.keys[i], f.keys[j])]
+					}
+				}
+			}
+			var scratch PrimDenseScratch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				PrimDenseCanonInto(&scratch, n, f.keys, func(i, j int) float64 {
+					return m[i*n+j]
+				})
+			}
+		})
+	}
+}
+
+// TestCanonVecsMatchesCanonInto pins the vector-specialized kernel
+// against the generic one: PrimDenseCanonVecs restructures the scan
+// (compact swap-remove frontier, inlined canonical cost reads) but must
+// produce the identical parent forest and identical accepted weights as
+// PrimDenseCanonInto over the same canonical cost matrix. Vector
+// readings for the two directions of a pair differ deliberately, so the
+// fixture also exercises the lower-key resolution rule.
+func TestCanonVecsMatchesCanonInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(24)
+		cols := n + rng.Intn(8)
+		// Unique keys, random attachment columns (shared columns allowed),
+		// and per-node vectors drawn from a handful of values so cost ties
+		// are the norm.
+		key := make([]int32, n)
+		used := map[int32]bool{}
+		for i := range key {
+			for {
+				k := int32(rng.Intn(10 * n))
+				if !used[k] {
+					used[k] = true
+					key[i] = k
+					break
+				}
+			}
+		}
+		attach := make([]int32, n)
+		for i := range attach {
+			attach[i] = int32(rng.Intn(cols))
+		}
+		vals := 1 + rng.Intn(4)
+		vecs := make([][]float32, n)
+		for i := range vecs {
+			row := make([]float32, cols)
+			for j := range row {
+				row[j] = float32(rng.Intn(vals))
+			}
+			vecs[i] = row
+		}
+		cost := func(i, j int) float64 {
+			if key[i] > key[j] {
+				i, j = j, i
+			}
+			return float64(vecs[i][attach[j]])
+		}
+		var sa, sb PrimDenseScratch
+		pa := PrimDenseCanonInto(&sa, n, key, cost)
+		wantParent := append([]int(nil), pa...)
+		wantBest := append([]float64(nil), sa.Best()...)
+		pb := PrimDenseCanonVecs(&sb, n, key, attach, vecs)
+		if !slices.Equal(pb, wantParent) {
+			t.Fatalf("trial %d: parents %v != %v", trial, pb, wantParent)
+		}
+		if !slices.Equal(sb.Best(), wantBest) {
+			t.Fatalf("trial %d: accepted weights %v != %v", trial, sb.Best(), wantBest)
+		}
+	}
+}

@@ -70,6 +70,7 @@ type PrimDenseScratch struct {
 	parent []int
 	best   []float64
 	inTree []bool
+	rem    []int32 // compact frontier for the vector-specialized variant
 }
 
 // grow resizes the scratch buffers to hold n nodes.
@@ -78,6 +79,7 @@ func (s *PrimDenseScratch) grow(n int) {
 		s.parent = make([]int, n)
 		s.best = make([]float64, n)
 		s.inTree = make([]bool, n)
+		s.rem = make([]int32, n)
 	}
 	s.parent = s.parent[:n]
 	s.best = s.best[:n]
@@ -120,6 +122,197 @@ func PrimDenseInto(scratch *PrimDenseScratch, n int, cost func(i, j int) float64
 	return parent
 }
 
+// CanonEdgeLess is the canonical total order on weighted edges: compare
+// by weight, then by the smaller endpoint key, then by the larger. Keys
+// must be unique per node (closure builds use peer ids), which makes the
+// order strict on distinct edges — so the minimum spanning tree under it
+// is unique and algorithm-independent, and incremental repairs that
+// splice edges under the same order land on exactly the tree a from-
+// scratch construction would produce.
+func CanonEdgeLess(w1 float64, a1, b1 int32, w2 float64, a2, b2 int32) bool {
+	if w1 != w2 {
+		return w1 < w2
+	}
+	if a1 > b1 {
+		a1, b1 = b1, a1
+	}
+	if a2 > b2 {
+		a2, b2 = b2, a2
+	}
+	if a1 != a2 {
+		return a1 < a2
+	}
+	return b1 < b2
+}
+
+// PrimDenseCanonInto is PrimDenseInto under the canonical edge order:
+// ties in cost are broken by CanonEdgeLess over the nodes' keys, so the
+// returned tree is the unique minimum spanning tree under that order — a
+// pure function of the cost matrix and the key assignment, independent
+// of node numbering or construction algorithm. parent[v] < 0 means v has
+// no candidate edge yet (and -1 marks the root in the result).
+func PrimDenseCanonInto(scratch *PrimDenseScratch, n int, key []int32, cost func(i, j int) float64) []int {
+	scratch.grow(n)
+	parent, best, inTree := scratch.parent, scratch.best, scratch.inTree
+	if n == 0 {
+		return parent
+	}
+	for i := range best {
+		best[i] = Inf
+		parent[i] = -1
+		inTree[i] = false
+	}
+	best[0] = 0
+	for iter := 0; iter < n; iter++ {
+		u := -1
+		for v := 0; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			if u < 0 {
+				u = v
+				continue
+			}
+			if bv, bu := best[v], best[u]; bv < bu ||
+				(bv == bu && parent[v] >= 0 && (parent[u] < 0 ||
+					CanonEdgeLess(bv, key[parent[v]], key[v], bu, key[parent[u]], key[u]))) {
+				u = v
+			}
+		}
+		inTree[u] = true
+		for v := 0; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			c := cost(u, v)
+			if c < best[v] || (c == best[v] && (parent[v] < 0 ||
+				CanonEdgeLess(c, key[u], key[v], best[v], key[parent[v]], key[v]))) {
+				best[v] = c
+				parent[v] = u
+			}
+		}
+	}
+	return parent
+}
+
+// Best exposes the accepted-edge weights of the scratch's most recent
+// dense Prim run: Best()[v] is the exact weight under which edge
+// (v, parent[v]) entered the tree, valid until the scratch's next use.
+// Callers that mirror tree-edge costs into per-state caches read them
+// here instead of re-probing the cost source.
+func (s *PrimDenseScratch) Best() []float64 { return s.best }
+
+// PrimDenseCanonVecs is PrimDenseCanonInto specialized to the closure
+// cost matrix the round engine uses: cost(i, j) is the lower-key
+// endpoint's distance vector read at the other endpoint's attachment
+// column (the canonical symmetric resolution — the two directions of a
+// pair can disagree in the last float bit). The generic variant pays an
+// indirect call per matrix probe; this loop is the engine's hottest
+// kernel, and at typical closure sizes the call overhead rivals the
+// probe itself.
+func PrimDenseCanonVecs(scratch *PrimDenseScratch, n int, key []int32, attach []int32, vecs [][]float32) []int {
+	scratch.grow(n)
+	parent, best := scratch.parent, scratch.best
+	if n == 0 {
+		return parent
+	}
+	for i := range best {
+		best[i] = Inf
+		parent[i] = -1
+	}
+	best[0] = 0
+	// The frontier is a compact swap-remove list of the positions still
+	// outside the tree: both the relax and the selection scan touch only
+	// live entries instead of filtering the whole range through inTree.
+	// The matrix is complete, so after the first relax every frontier key
+	// is finite and — the canonical order being total over distinct
+	// edges — the minimum is unique; scan order cannot affect the result.
+	rem := scratch.rem[:0]
+	for v := 1; v < n; v++ {
+		rem = append(rem, int32(v))
+	}
+	u := 0
+	for iter := 1; iter < n; iter++ {
+		rowU, au, ku := vecs[u], attach[u], key[u]
+		for _, vv := range rem {
+			v := int(vv)
+			var c float64
+			if ku < key[v] {
+				c = float64(rowU[attach[v]])
+			} else {
+				c = float64(vecs[v][au])
+			}
+			if c < best[v] || (c == best[v] && (parent[v] < 0 ||
+				CanonEdgeLess(c, ku, key[v], best[v], key[parent[v]], key[v]))) {
+				best[v] = c
+				parent[v] = u
+			}
+		}
+		bi := 0
+		for x := 1; x < len(rem); x++ {
+			v, w := int(rem[x]), int(rem[bi])
+			if bv, bw := best[v], best[w]; bv < bw ||
+				(bv == bw && parent[v] >= 0 && (parent[w] < 0 ||
+					CanonEdgeLess(bv, key[parent[v]], key[v], bw, key[parent[w]], key[w]))) {
+				bi = x
+			}
+		}
+		u = int(rem[bi])
+		rem[bi] = rem[len(rem)-1]
+		rem = rem[:len(rem)-1]
+	}
+	return parent
+}
+
+// PrimDenseCanonMatrix is PrimDenseCanonInto over a dense row-major
+// n×n weight matrix — the repair path's candidate graphs, where w is
+// small enough to stay cache-resident and an indirect call per probe
+// would dominate the probe.
+func PrimDenseCanonMatrix(scratch *PrimDenseScratch, n int, key []int32, w []float64) []int {
+	scratch.grow(n)
+	parent, best, inTree := scratch.parent, scratch.best, scratch.inTree
+	if n == 0 {
+		return parent
+	}
+	for i := range best {
+		best[i] = Inf
+		parent[i] = -1
+		inTree[i] = false
+	}
+	best[0] = 0
+	for iter := 0; iter < n; iter++ {
+		u := -1
+		for v := 0; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			if u < 0 {
+				u = v
+				continue
+			}
+			if bv, bu := best[v], best[u]; bv < bu ||
+				(bv == bu && parent[v] >= 0 && (parent[u] < 0 ||
+					CanonEdgeLess(bv, key[parent[v]], key[v], bu, key[parent[u]], key[u]))) {
+				u = v
+			}
+		}
+		inTree[u] = true
+		row, ku := w[u*n:(u+1)*n], key[u]
+		for v := 0; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			c := row[v]
+			if c < best[v] || (c == best[v] && (parent[v] < 0 ||
+				CanonEdgeLess(c, ku, key[v], best[v], key[parent[v]], key[v]))) {
+				best[v] = c
+				parent[v] = u
+			}
+		}
+	}
+	return parent
+}
+
 // PrimDense computes the minimum spanning tree of the complete graph on
 // n nodes with edge costs given by cost(i, j), rooted at node 0, using
 // the classic O(n²) dense Prim — the variant the paper cites ("an
@@ -148,6 +341,23 @@ func NewUnionFind(n int) *UnionFind {
 	return uf
 }
 
+// Reset reinitializes the forest to n singleton sets, reusing the
+// backing arrays when they are large enough — repair loops call this
+// once per peer and must not allocate in steady state.
+func (uf *UnionFind) Reset(n int) {
+	if cap(uf.parent) < n {
+		uf.parent = make([]int, n)
+		uf.size = make([]int, n)
+	}
+	uf.parent = uf.parent[:n]
+	uf.size = uf.size[:n]
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	uf.sets = n
+}
+
 // Find returns the representative of x's set.
 func (uf *UnionFind) Find(x int) int {
 	for uf.parent[x] != x {
@@ -174,6 +384,9 @@ func (uf *UnionFind) Union(a, b int) bool {
 
 // Sets reports the number of disjoint sets.
 func (uf *UnionFind) Sets() int { return uf.sets }
+
+// SizeOf reports the size of x's set.
+func (uf *UnionFind) SizeOf(x int) int { return uf.size[uf.Find(x)] }
 
 // KruskalMST computes an MST over the same subgraph description as
 // PrimMST. It exists primarily to cross-validate Prim in tests and for

@@ -26,6 +26,16 @@ type RoundRecord struct {
 	ExchangeCost float64 `json:"exchange_cost"`
 	AvgDegree    float64 `json:"avg_degree,omitempty"`
 
+	// Incremental MST-repair outcomes for the round's rebuild pass (zero
+	// when no dirty state took either path; omitted from JSON). Hits and
+	// fallbacks partition the dirty states that had a previous tree;
+	// attach/swap ops count the repair edits applied in place of dense
+	// Prim runs.
+	RepairHits      int `json:"repair_hits,omitempty"`
+	RepairFallbacks int `json:"repair_fallbacks,omitempty"`
+	AttachOps       int `json:"attach_ops,omitempty"`
+	SwapOps         int `json:"swap_ops,omitempty"`
+
 	// Fault-hardening reactions (zero on clean runs; omitted from JSON).
 	ProbeRetries   int `json:"probe_retries,omitempty"`
 	ProbeTimeouts  int `json:"probe_timeouts,omitempty"`

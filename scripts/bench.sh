@@ -154,12 +154,18 @@ if [ -n "$COMPARE" ]; then
             name = substr(line, RSTART + 9, RLENGTH - 10)
             match(line, /"ns\/op": [0-9.e+-]+/)
             ns = substr(line, RSTART + 9, RLENGTH - 9) + 0
-            # merge-ns/op (sharded rounds only) gates alongside ns/op: a
-            # benchmark that holds its total but regresses its merge is
-            # exactly the regression this metric exists to catch.
+            # merge-ns/op (sharded rounds only) and rebuild-ns/op gate
+            # alongside ns/op: a benchmark that holds its total but
+            # regresses one phase is exactly the regression these
+            # metrics exist to catch — the repair kernel lives entirely
+            # inside rebuild-ns/op, and losing it shows nowhere else
+            # this precisely.
             mns = -1
             if (match(line, /"merge-ns\/op": [0-9.e+-]+/))
                 mns = substr(line, RSTART + 15, RLENGTH - 15) + 0
+            rns = -1
+            if (match(line, /"rebuild-ns\/op": [0-9.e+-]+/))
+                rns = substr(line, RSTART + 17, RLENGTH - 17) + 0
         }
         # Asymmetric fold: the baseline folds repeated entries to their
         # median (typical committed performance — one lucky-fast write
@@ -178,15 +184,20 @@ if [ -n "$COMPARE" ]; then
                 return vals[m]
             return (vals[m] + vals[m + 1]) / 2
         }
-        # Merge rows ride the same min/median/gate machinery as ns/op
-        # rows under a ":merge-ns/op"-suffixed name, so a -failonly
-        # pattern matching the benchmark gates both metrics.
+        # Merge and rebuild rows ride the same min/median/gate machinery
+        # as ns/op rows under ":merge-ns/op"/":rebuild-ns/op"-suffixed
+        # names, so a -failonly pattern matching the benchmark (or the
+        # suffix itself) gates those metrics too.
         /"name"/ && FILENAME == ARGV[1] {
             parse($0)
             bvals[name, ++bcnt[name]] = ns
             if (mns >= 0) {
                 mn = name ":merge-ns/op"
                 bvals[mn, ++bcnt[mn]] = mns
+            }
+            if (rns >= 0) {
+                rn = name ":rebuild-ns/op"
+                bvals[rn, ++bcnt[rn]] = rns
             }
             next
         }
@@ -198,6 +209,11 @@ if [ -n "$COMPARE" ]; then
                 mn = name ":merge-ns/op"
                 if (!(mn in ccnt)) order[k++] = mn
                 cvals[mn, ++ccnt[mn]] = mns
+            }
+            if (rns >= 0) {
+                rn = name ":rebuild-ns/op"
+                if (!(rn in ccnt)) order[k++] = rn
+                cvals[rn, ++ccnt[rn]] = rns
             }
         }
         END {
