@@ -11,8 +11,18 @@
 //	-v              per-round phase timings and query means on stderr-free stdout
 //	-metrics f.jsonl  per-round and per-query records as JSON lines (obs.Stream);
 //	                implies instrumentation so the final snapshot carries counters
-//	-debug :6060    live endpoint: net/http/pprof under /debug/pprof/ and a
-//	                registry snapshot under /debug/obs (enables instrumentation)
+//	-debug :6060    live endpoint: net/http/pprof under /debug/pprof/, a
+//	                registry snapshot under /debug/obs, and a windowed causal
+//	                trace under /debug/trace?rounds=N (enables instrumentation)
+//	-trace out.json   record a causal trace of the whole run; .json / .json.gz-less
+//	                extensions select Chrome trace-event format (load in Perfetto),
+//	                anything else JSONL. Implies the flight recorder with dump
+//	                prefix <out>.flight
+//	-flight prefix  always-on flight recorder alone: small rings, no full trace
+//	                file, auto-dumps <prefix>-round<N>-<trigger>.json on anomalies
+//	-trace-analyze f  load a trace (Chrome or JSONL), print the critical-path
+//	                report (per-round straggler shards, slowest queries hop by
+//	                hop), and exit
 //
 // Fault injection (deterministic, seed-derived):
 //
@@ -27,14 +37,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"ace"
 	"ace/internal/fault"
 	"ace/internal/metrics"
 	"ace/internal/obs"
+	"ace/internal/obs/tracer"
 	"ace/internal/overlay"
 	"ace/internal/sim"
 )
@@ -52,11 +66,60 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-round phase timings and query means")
 	metricsPath := flag.String("metrics", "", "write per-round/per-query JSONL records to this file")
 	debugAddr := flag.String("debug", "", "serve pprof and the obs registry on this address (e.g. :6060)")
+	tracePath := flag.String("trace", "", "record a causal trace to this file (.json selects Chrome trace-event format, else JSONL)")
+	flightPrefix := flag.String("flight", "", "flight recorder only: auto-dump <prefix>-round<N>-<trigger>.json on anomalies")
+	traceAnalyze := flag.String("trace-analyze", "", "analyze a recorded trace file and print the critical-path report, then exit")
 	faultsPath := flag.String("faults", "", "load a fault plan (JSON) and inject it into the run")
+	faultOnset := flag.Int("faultonset", 0, "attach the fault plan at this step instead of from the start (a mid-run fault spike exercises the flight recorder)")
 	loss := flag.Float64("loss", 0, "shorthand fault plan: message loss = probe timeout = connect failure rate")
 	crash := flag.Float64("crash", 0, "fraction of churned-out peers that crash instead of leaving [0,1]")
 	churnPeers := flag.Int("churnpeers", 0, "churn this many peers (leave/crash + rejoin) before each step")
 	flag.Parse()
+
+	if *traceAnalyze != "" {
+		f, err := os.Open(*traceAnalyze)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acesim:", err)
+			os.Exit(1)
+		}
+		capture, err := tracer.ReadAny(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acesim:", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteReport(os.Stdout, capture, 5); err != nil {
+			fmt.Fprintln(os.Stderr, "acesim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Causal tracing: -trace records the full run into DefaultCapacity
+	// rings and dumps at exit; -flight alone runs the cheap always-on
+	// rings whose window only hits disk when an anomaly trigger fires.
+	tracing := *tracePath != "" || *flightPrefix != ""
+	var flight *tracer.FlightRecorder
+	traceID := ""
+	if tracing {
+		ringCap := tracer.DefaultCapacity
+		if *tracePath == "" {
+			ringCap = tracer.FlightCapacity
+		}
+		tracer.Enable(ringCap)
+		traceID = tracer.FormatRunID(tracer.Default().RunID())
+		prefix := *flightPrefix
+		if prefix == "" {
+			prefix = *tracePath + ".flight"
+		}
+		// The flag value may carry a directory (-flight /tmp/run1/fl);
+		// the recorder joins Dir and Prefix itself.
+		dir, base := filepath.Split(prefix)
+		if dir == "" {
+			dir = "."
+		}
+		flight = tracer.NewFlightRecorder(tracer.Default(), tracer.FlightConfig{Dir: dir, Prefix: base})
+	}
 
 	var policy ace.Policy
 	switch *policyName {
@@ -120,12 +183,19 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/debug/obs", obs.Handler(obs.Default()))
+		mux.Handle("/debug/trace", tracer.Handler(tracer.Default()))
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "acesim: debug server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "acesim: debug endpoint on %s (/debug/pprof/, /debug/obs)\n", *debugAddr)
+		fmt.Fprintf(os.Stderr, "acesim: debug endpoint on %s (/debug/pprof/, /debug/obs, /debug/trace)\n", *debugAddr)
+	}
+
+	if *verbose {
+		// -v closes with phase-latency quantiles, which need the span
+		// histograms recording from the first round.
+		obs.Enable()
 	}
 
 	sys, err := ace.NewSystem(
@@ -146,7 +216,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "acesim:", err)
 			os.Exit(1)
 		}
-		sys.Network().SetFaults(inj)
+		if *faultOnset <= 1 {
+			sys.Network().SetFaults(inj)
+		}
 	}
 
 	// churnStep removes n random live peers — each crashing with the
@@ -182,10 +254,11 @@ func main() {
 	}
 
 	rng := sim.NewRNG(*seed).Derive("acesim-queries")
-	sample := func(blind bool, label string, round int) (traffic, response, scope float64) {
+	sample := func(blind bool, label string, round int) (traffic, response, scope, success float64) {
 		net := sys.Network()
 		alive := net.AlivePeers()
 		var t, r, s metrics.Agg
+		answered := 0
 		for i := 0; i < *queries; i++ {
 			src := alive[rng.Intn(len(alive))]
 			responders := map[overlay.PeerID]bool{alive[rng.Intn(len(alive))]: true}
@@ -198,23 +271,35 @@ func main() {
 			t.Add(q.TrafficCost)
 			r.Add(q.FirstResponse)
 			s.Add(float64(q.Scope))
+			if !math.IsInf(q.FirstResponse, 1) {
+				answered++
+			}
 			if stream != nil {
 				rec := obs.QueryRecord{
 					Label: label, Round: round, Index: i,
 					Source: int(src), Scope: q.Scope, Traffic: q.TrafficCost,
 					Transmissions: q.Transmissions, Duplicates: q.Duplicates,
+					TraceGUID: q.TraceGUID,
 				}
 				rec.SetResponseMS(q.FirstResponse)
 				stream.EmitQuery(rec)
 			}
 		}
-		return t.Mean(), r.Mean(), s.Mean()
+		success = -1 // the flight recorder skips rounds that sampled nothing
+		if *queries > 0 {
+			success = float64(answered) / float64(*queries)
+		}
+		return t.Mean(), r.Mean(), s.Mean(), success
 	}
 
-	bt, br, bs := sample(true, "blind", 0)
+	bt, br, bs, _ := sample(true, "blind", 0)
 	fmt.Printf("blind flooding baseline: traffic %.0f  response %.1f ms  scope %.1f\n", bt, br, bs)
 	fmt.Printf("%4s  %10s  %8s  %8s  %7s  %6s  %s\n", "step", "traffic", "Δtraffic", "response", "Δresp", "scope", "degree")
 	for k := 1; k <= *steps; k++ {
+		if inj != nil && *faultOnset > 1 && k == *faultOnset {
+			sys.Network().SetFaults(inj)
+			fmt.Fprintf(os.Stderr, "acesim: fault plan attached at step %d\n", k)
+		}
 		if *churnPeers > 0 {
 			left, crashed := churnStep(*churnPeers)
 			if *verbose {
@@ -222,7 +307,19 @@ func main() {
 			}
 		}
 		rep := sys.Optimize(1)
-		t, r, s := sample(false, fmt.Sprintf("step%d", k), k)
+		t, r, s, succ := sample(false, fmt.Sprintf("step%d", k), k)
+		if flight != nil {
+			if path, trigger, fired := flight.Note(tracer.RoundStats{
+				Round:           tracer.Default().RoundSeq(),
+				WallNanos:       rep.RebuildNanos + rep.Phase3Nanos + rep.RepairNanos,
+				SuccessRate:     succ,
+				SerialFallbacks: rep.MergeSerialFallbacks,
+				RepairFallbacks: rep.RepairFallbacks,
+				ProbeTimeouts:   rep.ProbeTimeouts,
+			}); fired {
+				fmt.Fprintf(os.Stderr, "acesim: flight recorder dumped %s (trigger: %s)\n", path, trigger)
+			}
+		}
 		fmt.Printf("%4d  %10.0f  %7.1f%%  %8.1f  %6.1f%%  %6.1f  %.2f   (repl %d, tentative %d, repairs %d)\n",
 			k, t, 100*metrics.Reduction(bt, t), r, 100*metrics.Reduction(br, r), s,
 			sys.Network().AverageDegree(), rep.Replacements, rep.KeptNew, rep.Repairs)
@@ -261,10 +358,21 @@ func main() {
 				StaleMarked: rep.StaleMarked, StaleExpired: rep.StaleExpired,
 				BlacklistHits: rep.BlacklistHits, FailedConnects: rep.FailedConnects,
 				PurgedEdges: rep.PurgedEdges,
+				TraceID:     traceID, TraceSeq: tracer.Default().RoundSeq(),
 			})
 		}
 	}
 	fmt.Printf("total optimization overhead: %.0f (traffic-cost units)\n", sys.Optimizer().TotalOverhead())
+	if *verbose && obs.Enabled() {
+		for _, s := range obs.Default().Snapshot() {
+			if s.Kind != "span" || s.Count == 0 || !strings.HasPrefix(s.Name, "ace.core.round.") {
+				continue
+			}
+			fmt.Printf("phase %-24s p50 %8.2fms  p95 %8.2fms  p99 %8.2fms  (n=%d)\n",
+				strings.TrimPrefix(s.Name, "ace.core.round."),
+				s.Quantile(0.50)/1e6, s.Quantile(0.95)/1e6, s.Quantile(0.99)/1e6, s.Count)
+		}
+	}
 	if inj != nil {
 		st := inj.Stats()
 		fmt.Printf("injected faults: %d messages lost, %d probe timeouts, %d connect failures\n",
@@ -279,4 +387,30 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "acesim: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "acesim: trace written to %s (run %s)\n", *tracePath, traceID)
+	}
+}
+
+// writeTrace dumps the whole recorded trace: Chrome trace-event JSON
+// for .json paths (Perfetto-loadable), JSONL otherwise.
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	capture := tracer.Default().Capture()
+	if strings.HasSuffix(path, ".json") {
+		err = tracer.WriteChrome(f, capture)
+	} else {
+		err = tracer.WriteJSONL(f, capture)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

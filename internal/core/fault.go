@@ -2,6 +2,7 @@ package core
 
 import (
 	"ace/internal/fault"
+	"ace/internal/obs/tracer"
 	"ace/internal/overlay"
 )
 
@@ -87,10 +88,12 @@ func (o *Optimizer) faultPhase(peers []overlay.PeerID, report *StepReport) {
 	// follows sees exactly the post-purge adjacency.
 	if o.net.Dangling() > 0 {
 		o.dangleBuf = o.net.DanglingPairs(o.dangleBuf[:0])
+		r0 := o.ring0()
 		for _, dp := range o.dangleBuf {
 			report.ProbeTraffic += o.cfg.ProbeCost * o.net.CostsFrom(dp.Holder).To(dp.Dead)
 			report.ProbeTimeouts++
 			report.PurgedEdges++
+			traceInstant(r0, o.tr.round, tracer.KindCrashPurge, int32(dp.Holder), int32(dp.Dead), 0)
 			o.net.PurgeDangling(dp.Holder, dp.Dead)
 		}
 	}
@@ -116,9 +119,12 @@ func (o *Optimizer) faultPhase(peers []overlay.PeerID, report *StepReport) {
 	}
 	sh := o.ensureShards(1)[0]
 	sh.resetSweep()
+	sh.trace, sh.traceRound = o.ring0(), o.tr.round
+	ts := ringNow(sh.trace)
 	for _, b := range peers {
 		o.probeOneTarget(b, inj, retries, ttl, sh)
 	}
+	traceShardSpan(o.roundRing(), sh.trace, sh.traceRound, tracer.KindShardSweep, ts, int32(len(peers)), 0)
 	o.foldSweep(sh, report)
 }
 
@@ -141,6 +147,7 @@ func (o *Optimizer) probeOneTarget(b overlay.PeerID, inj *fault.Injector, retrie
 				}
 				sh.retries++
 				sh.retryCosts = append(sh.retryCosts, o.cfg.ProbeCost*cab)
+				traceInstant(sh.trace, sh.traceRound, tracer.KindProbeRetry, int32(a), int32(b), float64(k))
 			}
 			if !inj.ProbeTimeout(int(a), int(b), k) {
 				reached = true
@@ -150,6 +157,7 @@ func (o *Optimizer) probeOneTarget(b overlay.PeerID, inj *fault.Injector, retrie
 	}
 	if reached {
 		if o.staleFor[b] != 0 {
+			traceInstant(sh.trace, sh.traceRound, tracer.KindStaleReadmit, int32(b), 0, float64(o.staleFor[b]))
 			o.staleFor[b] = 0
 			if o.excluded[b] {
 				o.excluded[b] = false
@@ -160,11 +168,20 @@ func (o *Optimizer) probeOneTarget(b overlay.PeerID, inj *fault.Injector, retrie
 	}
 	sh.timeouts++
 	o.staleFor[b]++
+	traceInstant(sh.trace, sh.traceRound, tracer.KindProbeTimeout, int32(b), -1, 0)
 	switch {
 	case o.staleFor[b] == 1:
 		sh.staleMarked++
 	case o.staleFor[b] == ttl:
 		sh.staleExpired++
+	}
+	if sh.trace != nil {
+		if o.staleFor[b] == ttl {
+			traceInstant(sh.trace, sh.traceRound, tracer.KindStaleExpire, int32(b), 0, float64(ttl))
+		} else if o.staleFor[b] < ttl {
+			// Entries for b are being served last-known-good this round.
+			traceInstant(sh.trace, sh.traceRound, tracer.KindStaleServe, int32(b), 0, float64(o.staleFor[b]))
+		}
 	}
 	if o.staleFor[b] >= ttl && !o.excluded[b] {
 		o.excluded[b] = true
@@ -199,21 +216,23 @@ func (o *Optimizer) blacklisted(h overlay.PeerID) bool {
 // failure history. With no injector it is a plain Connect. The staged
 // variant used by the parallel merge is connectCtx (optimizer.go).
 func (o *Optimizer) tryConnect(a, h overlay.PeerID, report *StepReport) bool {
-	cx := applyCtx{report: report}
+	cx := applyCtx{report: report, trace: o.ring0()}
 	return o.connectCtx(&cx, a, h)
 }
 
 // noteDialFailure advances h's failure streak and blacklists it when
 // the streak reaches BlacklistAfter: the first blacklist lasts
 // BlacklistBase rounds and each subsequent one doubles, capped at
-// BlacklistCap, until a successful dial clears the exponent.
-func (o *Optimizer) noteDialFailure(h overlay.PeerID) {
+// BlacklistCap, until a successful dial clears the exponent. It returns
+// the blacklist duration installed by this failure (0 when none), so
+// callers can attribute the blacklisting without re-deriving the state.
+func (o *Optimizer) noteDialFailure(h overlay.PeerID) int {
 	if o.cfg.BlacklistAfter <= 0 {
-		return
+		return 0
 	}
 	o.dialFails[h]++
 	if int(o.dialFails[h]) < o.cfg.BlacklistAfter {
-		return
+		return 0
 	}
 	o.dialFails[h] = 0
 	dur := o.cfg.BlacklistBase << o.blackExp[h]
@@ -223,4 +242,5 @@ func (o *Optimizer) noteDialFailure(h overlay.PeerID) {
 		o.blackExp[h]++
 	}
 	o.blackUntil[h] = int32(o.roundNum + dur)
+	return dur
 }

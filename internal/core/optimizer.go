@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sync"
 
+	"ace/internal/obs/tracer"
 	"ace/internal/overlay"
 	"ace/internal/sim"
 )
@@ -109,6 +110,11 @@ type Optimizer struct {
 	blackUntil []int32 // round until which a peer is blacklisted
 
 	totalOverhead float64 // accumulated probe + exchange traffic cost
+
+	// tr caches the causal tracer's state per round (see trace.go);
+	// tr.on stays false — one atomic load per round — until the process
+	// tracer is enabled.
+	tr traceState
 }
 
 // RebuildStats counts how RebuildTrees executions resolved, for tests and
@@ -259,12 +265,15 @@ func (o *Optimizer) alivePeers() []overlay.PeerID {
 func (o *Optimizer) RebuildTrees() float64 {
 	sp := spanRebuild.Start()
 	peers := o.alivePeers()
+	o.traceSync()
+	tts := o.traceNow()
 	var report StepReport
 	o.faultPhase(peers, &report)
 	o.rebuild(peers)
 	cost := o.exchangeCost(peers) + report.ProbeTraffic
 	o.totalOverhead += cost
 	sp.End()
+	o.tracePhase(tracer.PhaseRebuild, tts)
 	return cost
 }
 
@@ -460,12 +469,16 @@ func (o *Optimizer) buildStates(list []overlay.PeerID, rc *repairCtx) {
 	}
 	for w := 0; w < workers; w++ {
 		o.scratch[w].tally = repairTally{}
+		o.scratch[w].trace, o.scratch[w].traceRound = o.ringFor(w), o.tr.round
 	}
+	rr := o.roundRing()
 	if workers <= 1 {
 		sc := o.scratch[0]
+		ts := ringNow(sc.trace)
 		for i, p := range list {
 			states[i] = buildState(sc, o.net, p, &o.cfg, o.excluded, rc)
 		}
+		traceShardSpan(rr, sc.trace, sc.traceRound, tracer.KindShardBuild, ts, int32(len(list)), 0)
 	} else {
 		var wg sync.WaitGroup
 		work := make(chan int)
@@ -473,9 +486,13 @@ func (o *Optimizer) buildStates(list []overlay.PeerID, rc *repairCtx) {
 			wg.Add(1)
 			go func(sc *buildScratch) {
 				defer wg.Done()
+				ts := ringNow(sc.trace)
+				built := 0
 				for i := range work {
 					states[i] = buildState(sc, o.net, list[i], &o.cfg, o.excluded, rc)
+					built++
 				}
+				traceShardSpan(rr, sc.trace, sc.traceRound, tracer.KindShardBuild, ts, int32(built), 0)
 			}(o.scratch[w])
 		}
 		for i := range list {
@@ -597,6 +614,8 @@ func (o *Optimizer) Round(rng *sim.RNG) StepReport {
 	sp := spanRebuild.Start()
 	peers := o.alivePeers()
 	report := StepReport{}
+	o.traceRoundBegin(len(peers))
+	tts := o.traceNow()
 	o.faultPhase(peers, &report)
 	o.rebuild(peers)
 	o.lastRepair.fill(&report)
@@ -604,7 +623,9 @@ func (o *Optimizer) Round(rng *sim.RNG) StepReport {
 	o.totalOverhead += cost
 	report.ExchangeCost = cost
 	report.RebuildNanos = sp.End()
+	o.tracePhase(tracer.PhaseRebuild, tts)
 
+	tts = o.traceNow()
 	sp = spanPhase3.Start()
 	o.executePendingCuts(&report)
 
@@ -626,10 +647,13 @@ func (o *Optimizer) Round(rng *sim.RNG) StepReport {
 		}
 	}
 	report.Phase3Nanos = sp.End()
+	o.tracePhase(tracer.PhasePhase3, tts)
 
+	tts = o.traceNow()
 	sp = spanRepair.Start()
 	o.maintainMinDegree(rng, peers, &report)
 	report.RepairNanos = sp.End()
+	o.tracePhase(tracer.PhaseRepair, tts)
 	o.totalOverhead += report.ProbeTraffic
 	flushRoundObs(&report)
 	return report
@@ -672,6 +696,10 @@ func (o *Optimizer) maintainMinDegree(rng *sim.RNG, alive []overlay.PeerID, repo
 type applyCtx struct {
 	tx     *overlay.StagedTx
 	report *StepReport
+	// trace is the worker's trace ring (nil while tracing is off):
+	// connect/blacklist fault reactions record through it so parallel
+	// apply workers never share a ring.
+	trace *tracer.Ring
 }
 
 // connectCtx is net.Connect with fault injection (see tryConnect) routed
@@ -681,7 +709,11 @@ func (o *Optimizer) connectCtx(cx *applyCtx, a, h overlay.PeerID) bool {
 	inj := o.net.Faults()
 	if inj != nil && inj.ConnectFails(int(a), int(h)) {
 		cx.report.FailedConnects++
-		o.noteDialFailure(h)
+		blackRounds := o.noteDialFailure(h)
+		traceInstant(cx.trace, o.tr.round, tracer.KindConnectFail, int32(a), int32(h), 0)
+		if blackRounds > 0 {
+			traceInstant(cx.trace, o.tr.round, tracer.KindBlacklist, int32(a), int32(h), float64(blackRounds))
+		}
 		return false
 	}
 	var ok bool
@@ -693,6 +725,7 @@ func (o *Optimizer) connectCtx(cx *applyCtx, a, h overlay.PeerID) bool {
 	if !ok {
 		return false
 	}
+	traceInstant(cx.trace, o.tr.round, tracer.KindConnect, int32(a), int32(h), 0)
 	if inj != nil {
 		o.dialFails[h] = 0
 		o.blackExp[h] = 0
@@ -812,8 +845,10 @@ func (o *Optimizer) probe(av overlay.CostView, a, h overlay.PeerID, report *Step
 	report.ProbeTraffic += o.cfg.ProbeCost * c
 	if inj := o.net.Faults(); inj != nil && inj.ProbeTimeout(int(a), int(h), 0) {
 		report.ProbeTimeouts++
+		traceInstant(o.ring0(), o.tr.round, tracer.KindProbeTimeout, int32(h), int32(a), 0)
 		return c, false
 	}
+	traceInstant(o.ring0(), o.tr.round, tracer.KindProbe, int32(a), int32(h), c)
 	return c, true
 }
 
@@ -1037,7 +1072,7 @@ func (o *Optimizer) phase3Closest(a overlay.PeerID, st *PeerState, report *StepR
 // physical delays, so fetching them here is exactly what the propose
 // pass would have read.
 func (o *Optimizer) applyFigure4WithCost(av overlay.CostView, a, b, h overlay.PeerID, ah float64, report *StepReport) {
-	cx := applyCtx{report: report}
+	cx := applyCtx{report: report, trace: o.ring0()}
 	o.applyFigure4Decided(&cx, a, b, h, ah, av.To(b), o.net.CostsFrom(b).To(h))
 }
 

@@ -5,6 +5,7 @@ import (
 	"os"
 	"testing"
 
+	"ace/internal/obs/tracer"
 	"ace/internal/overlay"
 	"ace/internal/physical"
 	"ace/internal/sim"
@@ -222,6 +223,26 @@ func BenchmarkRoundChurn(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			s := getRoundBenchSystem(b, noInc)
+			benchmarkRounds(b, s, 2, false)
+		})
+	}
+	// Tracer-overhead rows on the incremental fixture: `traced` runs
+	// with full-capture rings, `flight` with the small always-on rings
+	// the flight recorder uses. scripts/bench.sh -compare diffs these
+	// against `incremental` (the tracing-disabled path, whose own
+	// overhead — one atomic load per round — is gated by CI against the
+	// committed baselines).
+	for _, tc := range []struct {
+		name string
+		cap  int
+	}{
+		{"traced", tracer.DefaultCapacity},
+		{"flight", tracer.FlightCapacity},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			tracer.Enable(tc.cap)
+			defer tracer.Disable()
+			s := getRoundBenchSystem(b, false)
 			benchmarkRounds(b, s, 2, false)
 		})
 	}

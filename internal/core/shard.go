@@ -9,6 +9,7 @@ import (
 
 	"ace/internal/fault"
 	"ace/internal/obs"
+	"ace/internal/obs/tracer"
 	"ace/internal/overlay"
 	"ace/internal/sim"
 )
@@ -144,6 +145,12 @@ type shardState struct {
 	sortNanos                            int64
 
 	built int // states built in the last sharded rebuild
+
+	// Causal-trace sink for this shard's fan-out work, refreshed per
+	// round by the engine (nil while tracing is off). Each shard owns
+	// its ring, so fan-out workers never contend on a track.
+	trace      *tracer.Ring
+	traceRound int32
 }
 
 // resetSweep clears the probe-sweep accumulators.
@@ -269,6 +276,7 @@ func (o *Optimizer) buildStatesSharded(list []overlay.PeerID, s int, rc *repairC
 	shards := o.ensureShards(s)
 	spans := o.ownerSpans(list, s)
 	var wg sync.WaitGroup
+	rr := o.roundRing()
 	maxBuilt := 0
 	for k := 0; k < s; k++ {
 		sh := shards[k]
@@ -276,6 +284,7 @@ func (o *Optimizer) buildStatesSharded(list []overlay.PeerID, s int, rc *repairC
 		out := states[spans[k][0]:spans[k][1]]
 		sh.built = len(sub)
 		sh.scratch.tally = repairTally{}
+		sh.scratch.trace, sh.scratch.traceRound = o.ringFor(k), o.tr.round
 		if len(sub) > maxBuilt {
 			maxBuilt = len(sub)
 		}
@@ -285,6 +294,7 @@ func (o *Optimizer) buildStatesSharded(list []overlay.PeerID, s int, rc *repairC
 		wg.Add(1)
 		go func(sh *shardState, sub []overlay.PeerID, out []*PeerState) {
 			defer wg.Done()
+			ts := ringNow(sh.scratch.trace)
 			for i, p := range sub {
 				st := buildState(&sh.scratch, o.net, p, &o.cfg, o.excluded, rc)
 				if rc != nil && rc.recycle {
@@ -300,6 +310,7 @@ func (o *Optimizer) buildStatesSharded(list []overlay.PeerID, s int, rc *repairC
 				}
 				out[i] = st
 			}
+			traceShardSpan(rr, sh.scratch.trace, sh.scratch.traceRound, tracer.KindShardBuild, ts, int32(len(sub)), 0)
 		}(sh, sub, out)
 	}
 	wg.Wait()
@@ -323,9 +334,11 @@ func (o *Optimizer) probeSweepSharded(peers []overlay.PeerID, inj *fault.Injecto
 	shards := o.ensureShards(s)
 	spans := o.ownerSpans(peers, s)
 	var wg sync.WaitGroup
+	rr := o.roundRing()
 	for k := 0; k < s; k++ {
 		sh := shards[k]
 		sh.resetSweep()
+		sh.trace, sh.traceRound = o.ringFor(k), o.tr.round
 		sub := peers[spans[k][0]:spans[k][1]]
 		if len(sub) == 0 {
 			continue
@@ -333,9 +346,11 @@ func (o *Optimizer) probeSweepSharded(peers []overlay.PeerID, inj *fault.Injecto
 		wg.Add(1)
 		go func(sh *shardState, sub []overlay.PeerID) {
 			defer wg.Done()
+			ts := ringNow(sh.trace)
 			for _, b := range sub {
 				o.probeOneTarget(b, inj, retries, ttl, sh)
 			}
+			traceShardSpan(rr, sh.trace, sh.traceRound, tracer.KindShardSweep, ts, int32(len(sub)), 0)
 		}(sh, sub)
 	}
 	wg.Wait()
@@ -385,6 +400,8 @@ func (o *Optimizer) scanPostingsSharded(dst *peerBitset, endpoints []overlay.Pee
 func (o *Optimizer) roundSharded(rng *sim.RNG, s int) StepReport {
 	sp := spanRebuild.Start()
 	peers := o.alivePeers()
+	o.traceRoundBegin(len(peers))
+	tts := o.traceNow()
 	report := StepReport{Shards: s}
 	o.lastImbalance = 0
 	o.faultPhase(peers, &report)
@@ -395,7 +412,9 @@ func (o *Optimizer) roundSharded(rng *sim.RNG, s int) StepReport {
 	report.ExchangeCost = cost
 	report.ShardImbalance = o.lastImbalance
 	report.RebuildNanos = sp.End()
+	o.tracePhase(tracer.PhaseRebuild, tts)
 
+	tts = o.traceNow()
 	sp = spanPhase3.Start()
 	o.executePendingCuts(&report)
 	// One serial draw seeds the whole sharded Phase 3; everything after
@@ -410,10 +429,13 @@ func (o *Optimizer) roundSharded(rng *sim.RNG, s int) StepReport {
 	o.mergeProposals(final, s, &report)
 	report.MergeNanos = msp.End()
 	report.Phase3Nanos = sp.End()
+	o.tracePhase(tracer.PhasePhase3, tts)
 
+	tts = o.traceNow()
 	sp = spanRepair.Start()
 	o.maintainMinDegree(rng, peers, &report)
 	report.RepairNanos = sp.End()
+	o.tracePhase(tracer.PhaseRepair, tts)
 	o.totalOverhead += report.ProbeTraffic
 	flushRoundObs(&report)
 	if obs.Enabled() && report.ShardImbalance > 0 {
@@ -450,10 +472,12 @@ func (o *Optimizer) proposePhase3(peers []overlay.PeerID, base uint64, s int, re
 		ready[k] = make(chan []proposal, 1)
 	}
 	var wg sync.WaitGroup
+	rr := o.roundRing()
 	for k := 0; k < s; k++ {
 		sh := shards[k]
 		sh.props = sh.props[:0]
 		sh.probes, sh.probeTimeouts, sh.blacklistHits, sh.sortNanos = 0, 0, 0, 0
+		sh.trace, sh.traceRound = o.ringFor(k), o.tr.round
 		lo, hi := spans[k][0], spans[k][1]
 		if obs.Enabled() {
 			hShardPeers.Observe(uint64(hi - lo))
@@ -463,6 +487,7 @@ func (o *Optimizer) proposePhase3(peers []overlay.PeerID, base uint64, s int, re
 			continue
 		}
 		run := func(sh *shardState, k, lo, hi int) {
+			ts := ringNow(sh.trace)
 			for i := lo; i < hi; i++ {
 				a := peers[i]
 				traffic[i] = 0
@@ -496,6 +521,7 @@ func (o *Optimizer) proposePhase3(peers []overlay.PeerID, base uint64, s int, re
 			}
 			sortProposals(sh.props)
 			sh.sortNanos = mark.End()
+			traceShardSpan(rr, sh.trace, sh.traceRound, tracer.KindShardPropose, ts, int32(len(sh.props)), int32(hi-lo))
 			ready[k] <- sh.props
 		}
 		if s == 1 {
@@ -614,15 +640,18 @@ func mergeRuns(dst, x, y []proposal) []proposal {
 
 // probePropose prices one propose-pass delay measurement from a to
 // candidate h — the sharded counterpart of probe(), accumulating into
-// the peer's tally instead of the shared report.
-func (o *Optimizer) probePropose(av overlay.CostView, a, h overlay.PeerID, t *peerTally) (float64, bool) {
+// the peer's tally instead of the shared report and tracing onto the
+// shard's own track.
+func (o *Optimizer) probePropose(av overlay.CostView, a, h overlay.PeerID, t *peerTally, sh *shardState) (float64, bool) {
 	t.probes++
 	c := av.To(h)
 	t.traffic += o.cfg.ProbeCost * c
 	if inj := o.net.Faults(); inj != nil && inj.ProbeTimeout(int(a), int(h), 0) {
 		t.timeouts++
+		traceInstant(sh.trace, sh.traceRound, tracer.KindProbeTimeout, int32(h), int32(a), 0)
 		return c, false
 	}
+	traceInstant(sh.trace, sh.traceRound, tracer.KindProbe, int32(a), int32(h), c)
 	return c, true
 }
 
@@ -666,7 +695,7 @@ func (o *Optimizer) proposeRandom(a overlay.PeerID, st *PeerState, r *splitRNG, 
 				t.hits++
 				continue
 			}
-			if ah, ok := o.probePropose(av, a, h, t); ok {
+			if ah, ok := o.probePropose(av, a, h, t, sh); ok {
 				if ab, bh, act := o.figure4Costs(av, b, h, ah); act {
 					sh.props = append(sh.props, proposal{
 						ah: float32(ah), ab: float32(ab), bh: float32(bh),
@@ -711,7 +740,7 @@ func (o *Optimizer) proposeNaive(a overlay.PeerID, st *PeerState, r *splitRNG, s
 	}
 	best, bestCost := overlay.PeerID(-1), worstCost
 	for _, h := range cands {
-		if c, ok := o.probePropose(av, a, h, t); ok && c < bestCost {
+		if c, ok := o.probePropose(av, a, h, t, sh); ok && c < bestCost {
 			best, bestCost = h, c
 		}
 	}
@@ -734,7 +763,7 @@ func (o *Optimizer) proposeClosest(a overlay.PeerID, st *PeerState, sh *shardSta
 		}
 		sh.candBuf = o.candidatesInto(sh.candBuf[:0], a, b, &t.hits)
 		for _, h := range sh.candBuf {
-			c, ok := o.probePropose(av, a, h, t)
+			c, ok := o.probePropose(av, a, h, t, sh)
 			if ok && (bestH < 0 || c < bestCost) {
 				bestB, bestH, bestCost = b, h, c
 			}
@@ -872,11 +901,13 @@ func (o *Optimizer) applyMerged(props []proposal, s int, report *StepReport) {
 	if len(props) == 0 {
 		return
 	}
+	mts := o.traceNow()
 	if s <= 1 || o.forceSerialMerge {
-		cx := applyCtx{report: report}
+		cx := applyCtx{report: report, trace: o.ring0()}
 		for i := range props {
 			o.applyOne(&cx, &props[i])
 		}
+		traceSpan(o.roundRing(), o.tr.round, tracer.KindMerge, mts, 1, 0)
 		return
 	}
 	ms := &o.seg
@@ -937,7 +968,7 @@ func (o *Optimizer) applyMerged(props []proposal, s int, report *StepReport) {
 	// pairwise disjoint and each target a private StagedTx.
 	workers := min(s, len(ms.parIdx))
 	if workers <= 1 {
-		cx := applyCtx{report: report}
+		cx := applyCtx{report: report, trace: o.ring0()}
 		for _, g := range ms.parIdx {
 			cx.tx = &txs[g]
 			o.applySegment(props[ms.off[g]:ms.off[g+1]], &cx)
@@ -951,9 +982,9 @@ func (o *Optimizer) applyMerged(props []proposal, s int, report *StepReport) {
 		for w := 0; w < workers; w++ {
 			ms.reports[w] = StepReport{}
 			wg.Add(1)
-			go func(rep *StepReport) {
+			go func(rep *StepReport, ring *tracer.Ring) {
 				defer wg.Done()
-				cx := applyCtx{report: rep}
+				cx := applyCtx{report: rep, trace: ring}
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(ms.parIdx) {
@@ -963,7 +994,7 @@ func (o *Optimizer) applyMerged(props []proposal, s int, report *StepReport) {
 					cx.tx = &txs[g]
 					o.applySegment(props[ms.off[g]:ms.off[g+1]], &cx)
 				}
-			}(&ms.reports[w])
+			}(&ms.reports[w], o.ringFor(w))
 		}
 		wg.Wait()
 		for w := 0; w < workers; w++ {
@@ -974,9 +1005,10 @@ func (o *Optimizer) applyMerged(props []proposal, s int, report *StepReport) {
 	// Serial fallback, stream order, after the parallel batch: the later
 	// member of every conflicting pair lands here, so conflicting
 	// proposals apply in exactly the serial merge's order.
-	cx := applyCtx{report: report}
+	cx := applyCtx{report: report, trace: o.ring0()}
 	for _, g := range ms.serIdx {
 		cx.tx = &txs[g]
+		traceInstant(cx.trace, o.tr.round, tracer.KindSegmentSerial, ms.off[g+1]-ms.off[g], int32(g), 0)
 		o.applySegment(props[ms.off[g]:ms.off[g+1]], &cx)
 	}
 
@@ -986,6 +1018,7 @@ func (o *Optimizer) applyMerged(props []proposal, s int, report *StepReport) {
 	for i := range txs {
 		o.net.CommitStaged(&txs[i])
 	}
+	traceSpan(o.roundRing(), o.tr.round, tracer.KindMerge, mts, int32(nseg), int32(len(ms.serIdx)))
 }
 
 // foldMergeReport folds a worker-local report into the round report.

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"ace/internal/graph"
+	"ace/internal/obs/tracer"
 	"ace/internal/overlay"
 )
 
@@ -145,6 +146,11 @@ type buildScratch struct {
 	mark  []uint32 // mark[p] == epoch ⇒ p visited in this build
 	posOf []int32  // closure position of p; valid only when marked
 
+	// Causal-trace sink for this worker, refreshed per round by the
+	// engine (nil while tracing is off). Never feeds back into builds.
+	trace      *tracer.Ring
+	traceRound int32
+
 	queue []overlay.PeerID // BFS order, reused as the closure source
 	depth []int32          // BFS depths, parallel to queue
 
@@ -161,7 +167,7 @@ type buildScratch struct {
 	uf        graph.UnionFind
 	repIn     []bool
 	repOldPos []int32
-	repSide   []bool // reconnect scan: position is in the merging component
+	repSide   []bool       // reconnect scan: position is in the merging component
 	repOff    []int32      // candidate-tree CSR offsets (insertion repairs)
 	repAdj    []int32      // candidate-tree CSR adjacency
 	repAdjK   []packedEdge // canonical key per CSR entry
@@ -308,6 +314,7 @@ func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, cfg *C
 			}
 			if same {
 				sc.tally.hits++
+				traceInstant(sc.trace, sc.traceRound, tracer.KindBuildReuse, int32(p), 0, 0)
 				return old
 			}
 		}
@@ -380,8 +387,10 @@ func buildState(sc *buildScratch, net *overlay.Network, p overlay.PeerID, cfg *C
 			}
 			if oldRepaired != nil {
 				sc.tally.hits++
+				traceInstant(sc.trace, sc.traceRound, tracer.KindBuildRepair, int32(p), 0, 0)
 			} else {
 				sc.tally.fallbacks++
+				traceInstant(sc.trace, sc.traceRound, tracer.KindBuildDense, int32(p), 0, 0)
 			}
 		}
 		if oldRepaired == nil {

@@ -185,6 +185,7 @@ func (e *Env) MeasureQueries(fwd core.Forwarder, n int, label string) QuerySampl
 		src               overlay.PeerID
 		scope, sends, dup int
 		lost, dead        int
+		guid              uint64
 	}
 	results := make([]point, n)
 	_ = forEach(n, func(i int) error {
@@ -195,7 +196,7 @@ func (e *Env) MeasureQueries(fwd core.Forwarder, n int, label string) QuerySampl
 			responders[alive[qrng.Intn(len(alive))]] = true
 		}
 		r := gnutella.Evaluate(e.Net, fwd, src, e.Scale.TTL, responders)
-		results[i] = point{r.TrafficCost, r.FirstResponse, src, r.Scope, r.Transmissions, r.Duplicates, r.Lost, r.DeadLetters}
+		results[i] = point{r.TrafficCost, r.FirstResponse, src, r.Scope, r.Transmissions, r.Duplicates, r.Lost, r.DeadLetters, r.TraceGUID}
 		return nil
 	})
 	s.Queries = n
@@ -216,6 +217,7 @@ func (e *Env) MeasureQueries(fwd core.Forwarder, n int, label string) QuerySampl
 				Traffic:       results[i].traffic,
 				Transmissions: results[i].sends,
 				Duplicates:    results[i].dup,
+				TraceGUID:     results[i].guid,
 			}
 			q.SetResponseMS(results[i].response)
 			e.Stream.EmitQuery(q)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ace/internal/core"
+	"ace/internal/obs/tracer"
 	"ace/internal/overlay"
 )
 
@@ -35,6 +36,10 @@ type QueryResult struct {
 	// Arrival maps each reached peer to its arrival time in
 	// milliseconds.
 	Arrival map[overlay.PeerID]float64
+	// TraceGUID is the causal-trace query GUID this flood's events
+	// carry, 0 while tracing is off — the join key between metrics
+	// streams and trace captures.
+	TraceGUID uint64
 }
 
 const msPerDur = float64(time.Millisecond)
@@ -87,6 +92,7 @@ func evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl 
 	first := math.Inf(1)
 	if k.IsResponder(src) {
 		first = 0
+		k.trace(tracer.KindQueryRespond, int32(src), 0, 0)
 	}
 
 	if ttl > 0 {
@@ -114,6 +120,7 @@ func evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl 
 				// path cost back to the source.
 				if rt := k.ArrivalMS(to) + k.ReturnTime(to); rt < first {
 					first = rt
+					k.trace(tracer.KindQueryRespond, int32(to), 0, rt)
 				}
 			}
 		}
@@ -137,6 +144,11 @@ func evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl 
 	}
 
 	k.ObserveFlood()
+	firstV := first
+	if math.IsInf(firstV, 1) {
+		firstV = -1 // JSON exports cannot carry +Inf
+	}
+	k.trace(tracer.KindQueryEnd, int32(k.Scope()), int32(k.Transmissions()), firstV)
 	res := QueryResult{
 		Scope:         k.Scope(),
 		TrafficCost:   k.Traffic(),
@@ -146,6 +158,7 @@ func evaluate(net *overlay.Network, fwd core.Forwarder, src overlay.PeerID, ttl 
 		Lost:          k.Lost(),
 		DeadLetters:   k.DeadLetters(),
 		Arrival:       k.ArrivalMap(),
+		TraceGUID:     k.TraceGUID(),
 	}
 	var hops []Hop
 	if trace {

@@ -7,6 +7,7 @@ import (
 
 	"ace/internal/core"
 	"ace/internal/fault"
+	"ace/internal/obs/tracer"
 	"ace/internal/overlay"
 )
 
@@ -85,6 +86,16 @@ type Kernel struct {
 
 	tracing bool
 	hops    []Hop
+
+	// Causal-trace sink: one "flood" ring per pooled kernel (kernels are
+	// single-threaded, so the ring is never contended), re-acquired per
+	// query when the tracer's enable generation moved. tguid is this
+	// query's process-wide GUID; events carry it so the analyzer can
+	// stitch per-query timelines out of interleaved floods.
+	tring  *tracer.Ring
+	tgen   uint64
+	tguid  uint64
+	tround int32
 }
 
 // heapKey orders in-flight messages by (arrival time, global send
@@ -375,7 +386,35 @@ func (k *Kernel) Begin(net *overlay.Network, fwd core.Forwarder, trace bool) {
 	k.lost, k.deadLetters = 0, 0
 	k.tracing = trace
 	k.hops = k.hops[:0]
+	if tracer.On() {
+		t := tracer.Default()
+		if g := t.Gen(); g != k.tgen || k.tring == nil {
+			k.tgen = g
+			k.tring = t.NewRing("flood")
+		}
+		k.tguid = t.NextQueryID()
+		k.tround = t.RoundSeq()
+	} else {
+		k.tring = nil
+		k.tguid = 0
+	}
 }
+
+// trace records one causal-trace event carrying this query's GUID; a
+// no-op (one predicted branch) while tracing is off.
+func (k *Kernel) trace(kind tracer.Kind, a, b int32, v float64) {
+	if k.tring == nil {
+		return
+	}
+	k.tring.Record(tracer.Event{
+		TS: tracer.Default().Now(), GUID: k.tguid, Round: k.tround,
+		Kind: kind, A: a, B: b, V: v,
+	})
+}
+
+// TraceGUID returns the query GUID minted by the last Begin (0 while
+// tracing is off).
+func (k *Kernel) TraceGUID() uint64 { return k.tguid }
 
 // Arrived reports whether p has received its first copy of the query.
 func (k *Kernel) Arrived(p overlay.PeerID) bool { return k.arrMark[p] == k.epoch }
@@ -389,6 +428,13 @@ func (k *Kernel) Arrive(p, from overlay.PeerID, at time.Duration) {
 	a := &k.arr[p]
 	a.arrMS = float64(at) / msPerDur
 	a.back = from
+	if k.tring != nil {
+		if from < 0 {
+			k.trace(tracer.KindQueryBegin, int32(p), -1, 0)
+		} else {
+			k.trace(tracer.KindQueryArrive, int32(p), int32(from), a.arrMS)
+		}
+	}
 	if from < 0 {
 		a.pathCost = 0
 		k.nonce = fault.Nonce(uint64(p)) // per-flood loss stream, from the source
@@ -520,6 +566,7 @@ func (k *Kernel) Emit(at time.Duration, from overlay.PeerID, sends []core.Send, 
 	if len(sends) > 0 {
 		cv, cvOK = k.net.CostsFromCached(from)
 	}
+	tx0 := k.transmissions
 	for i := 0; i < len(sends); {
 		tree := sends[i].Tree
 		if tree != core.NoTree && k.servedHas(from, tree) {
@@ -557,6 +604,9 @@ func (k *Kernel) Emit(at time.Duration, from overlay.PeerID, sends []core.Send, 
 				seq := uint32(k.transmissions)
 				if k.inj.DropMessage(k.nonce, int(from), int(s.To), seq) {
 					k.lost++
+					if k.tring != nil {
+						k.trace(tracer.KindQueryDrop, int32(from), int32(s.To), float64(at)/msPerDur)
+					}
 					continue
 				}
 				c = k.inj.TransitDelay(c, k.nonce, int(from), int(s.To), seq)
@@ -565,6 +615,11 @@ func (k *Kernel) Emit(at time.Duration, from overlay.PeerID, sends []core.Send, 
 		}
 		if tree != core.NoTree {
 			k.servedAdd(from, tree)
+		}
+	}
+	if k.tring != nil {
+		if sent := k.transmissions - tx0; sent > 0 {
+			k.trace(tracer.KindQueryForward, int32(from), int32(sent), float64(at)/msPerDur)
 		}
 	}
 }

@@ -1,0 +1,83 @@
+package gnutella
+
+import (
+	"reflect"
+	"testing"
+
+	"ace/internal/core"
+	"ace/internal/fault"
+	"ace/internal/obs/tracer"
+)
+
+// TestFloodTraceDoesNotPerturb pins the flood kernel's tracing
+// contract: recording per-hop events changes no query result. The
+// same flood runs with tracing off and on — clean and lossy — and
+// every QueryResult field except the trace GUID must match exactly.
+func TestFloodTraceDoesNotPerturb(t *testing.T) {
+	for _, lossy := range []bool{false, true} {
+		net := chainNet(t, 24)
+		if lossy {
+			net.SetFaults(lossyInjector(t, fault.Plan{Seed: 9, LossRate: 0.3}))
+		}
+		fwd := core.BlindFlooding{Net: net}
+
+		tracer.Disable()
+		off := Evaluate(net, fwd, 0, 64, nil)
+
+		tracer.Enable(1 << 10)
+		on := Evaluate(net, fwd, 0, 64, nil)
+		tracer.Disable()
+
+		if on.TraceGUID == 0 {
+			t.Fatal("traced query carries no GUID")
+		}
+		on.TraceGUID, off.TraceGUID = 0, 0
+		if !reflect.DeepEqual(on, off) {
+			t.Fatalf("lossy=%v: traced flood diverged\noff: %+v\non:  %+v", lossy, off, on)
+		}
+	}
+}
+
+// TestFloodTraceEvents checks the traced flood records a coherent
+// event stream: one query-begin at the source, arrivals with working
+// back-pointers, and a query-end carrying scope and transmissions —
+// enough for the analyzer to rebuild the deepest path.
+func TestFloodTraceEvents(t *testing.T) {
+	net := chainNet(t, 8)
+	fwd := core.BlindFlooding{Net: net}
+
+	tracer.Enable(1 << 10)
+	defer tracer.Disable()
+	res := Evaluate(net, fwd, 0, 64, nil)
+	c := tracer.Default().Capture()
+
+	qs := tracer.AnalyzeQueries(c)
+	if len(qs) != 1 {
+		t.Fatalf("got %d query timelines, want 1", len(qs))
+	}
+	q := qs[0]
+	if q.GUID != res.TraceGUID {
+		t.Fatalf("timeline GUID %x, result GUID %x", q.GUID, res.TraceGUID)
+	}
+	if q.Source != 0 {
+		t.Fatalf("timeline source %d, want 0", q.Source)
+	}
+	if q.Scope != int64(res.Scope) {
+		t.Fatalf("timeline scope %d, result scope %d", q.Scope, res.Scope)
+	}
+	if q.Transmissions != int64(res.Transmissions) {
+		t.Fatalf("timeline transmissions %d, result %d", q.Transmissions, res.Transmissions)
+	}
+	// On a clean 8-chain the deepest path is the whole chain: 7 hops.
+	if len(q.Path) != 7 {
+		t.Fatalf("deepest path has %d hops, want 7: %+v", len(q.Path), q.Path)
+	}
+	for i, h := range q.Path {
+		if h.From != int32(i) || h.To != int32(i+1) {
+			t.Fatalf("hop %d is %d->%d, want %d->%d", i, h.From, h.To, i, i+1)
+		}
+		if h.CostMS <= 0 {
+			t.Fatalf("hop %d cost %.3f ms, want > 0", i, h.CostMS)
+		}
+	}
+}

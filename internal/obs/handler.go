@@ -5,17 +5,37 @@ import (
 	"net/http"
 )
 
+// snapshotView is a Snapshot plus the derived tail quantiles the HTTP
+// endpoint surfaces for histograms and spans (see Snapshot.Quantile).
+type snapshotView struct {
+	Snapshot
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+}
+
 // Handler returns an expvar-style HTTP handler serving the registry's
-// aggregated snapshot as one JSON document. cmd/acesim mounts it at
-// /debug/obs next to net/http/pprof.
+// aggregated snapshot as one JSON document, histograms and spans
+// annotated with p50/p95/p99. cmd/acesim mounts it at /debug/obs next
+// to net/http/pprof.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		snaps := r.Snapshot()
+		views := make([]snapshotView, len(snaps))
+		for i, s := range snaps {
+			views[i] = snapshotView{Snapshot: s}
+			if (s.Kind == "histogram" || s.Kind == "span") && s.Count > 0 {
+				views[i].P50 = s.Quantile(0.50)
+				views[i].P95 = s.Quantile(0.95)
+				views[i].P99 = s.Quantile(0.99)
+			}
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(struct {
-			Enabled bool       `json:"enabled"`
-			Metrics []Snapshot `json:"metrics"`
-		}{Enabled: r.Enabled(), Metrics: r.Snapshot()})
+			Enabled bool           `json:"enabled"`
+			Metrics []snapshotView `json:"metrics"`
+		}{Enabled: r.Enabled(), Metrics: views})
 	})
 }

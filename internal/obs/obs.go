@@ -146,6 +146,41 @@ func (s Snapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of a histogram/span
+// snapshot from its log₂ buckets: it walks the cumulative counts to the
+// bucket holding the ⌈q·Count⌉-th observation and interpolates linearly
+// across that bucket's [low, high] value range. Resolution is the
+// bucket width (a factor of two), exact when the rank lands on a bucket
+// boundary. Returns 0 for empty snapshots.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if next >= rank {
+			low, high := BucketBounds(i)
+			if rank <= cum {
+				// The rank sits on this bucket's lower boundary.
+				return float64(low)
+			}
+			frac := (rank - cum) / float64(b)
+			return float64(low) + frac*(float64(high)-float64(low))
+		}
+		cum = next
+	}
+	// Float round-off pushed the rank past the trimmed buckets: report
+	// the top of the last populated bucket.
+	_, high := BucketBounds(len(s.Buckets) - 1)
+	return float64(high)
+}
+
 // Merge folds o into s: counters and gauges sum, histograms and spans
 // add counts and merge buckets elementwise. The two snapshots must have
 // the same name and kind.

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileSingleBucket: with every observation in one bucket the
+// quantile interpolates linearly across that bucket's bounds, pinned
+// at the bounds for q=0 and q=1.
+func TestQuantileSingleBucket(t *testing.T) {
+	// 100 observations of 16 land in bucket 5: [16, 31].
+	s := Snapshot{Kind: "histogram", Count: 100, Buckets: []uint64{0, 0, 0, 0, 0, 100}}
+	if got := s.Quantile(0); got != 16 {
+		t.Fatalf("q=0: got %v, want the bucket's low bound 16", got)
+	}
+	if got := s.Quantile(1); got != 31 {
+		t.Fatalf("q=1: got %v, want the bucket's high bound 31", got)
+	}
+	if got := s.Quantile(0.5); got != 16+0.5*15 {
+		t.Fatalf("q=0.5: got %v, want 23.5 (linear interpolation)", got)
+	}
+}
+
+// TestQuantileBucketBoundary: a rank landing exactly on the cumulative
+// count between two buckets resolves to the lower bucket's top, and
+// any rank beyond it interpolates from the next bucket's low bound —
+// the gap between bucket 3's top (7) and bucket 5's low (16) is never
+// smeared over.
+func TestQuantileBucketBoundary(t *testing.T) {
+	// 50 observations in bucket 3 ([4,7]), 50 in bucket 5 ([16,31]).
+	s := Snapshot{Kind: "histogram", Count: 100, Buckets: []uint64{0, 0, 0, 50, 0, 50}}
+	if got := s.Quantile(0.5); got != 7 {
+		t.Fatalf("q=0.5: got %v, want 7 (top of the lower bucket)", got)
+	}
+	if got := s.Quantile(0.51); got < 16 || got > 17 {
+		t.Fatalf("q=0.51: got %v, want just above the upper bucket's low bound 16", got)
+	}
+	if got := s.Quantile(0.25); got != 4+0.5*3 {
+		t.Fatalf("q=0.25: got %v, want 5.5 (midway through [4,7])", got)
+	}
+}
+
+// TestQuantileLeadingZeroBuckets: q=0 with empty leading buckets
+// returns the first populated bucket's low bound, not zero.
+func TestQuantileLeadingZeroBuckets(t *testing.T) {
+	s := Snapshot{Kind: "histogram", Count: 10, Buckets: []uint64{0, 0, 10}} // bucket 2: [2,3]
+	if got := s.Quantile(0); got != 2 {
+		t.Fatalf("q=0: got %v, want 2", got)
+	}
+	if s := (Snapshot{Kind: "histogram"}); s.Quantile(0.99) != 0 {
+		t.Fatal("empty snapshot must report 0")
+	}
+}
+
+// TestQuantileClampsAndMonotonic: out-of-range q clamps, and the
+// quantile function is non-decreasing in q over a mixed histogram
+// built through the real Observe path.
+func TestQuantileClampsAndMonotonic(t *testing.T) {
+	withEnabled(t, func() {
+		h := NewHistogram("ace.test.hist.quantile")
+		for _, v := range []uint64{0, 1, 3, 7, 8, 100, 255, 256, 1 << 20} {
+			h.Observe(v)
+		}
+		s := h.snapshot()
+		if got, want := s.Quantile(-3), s.Quantile(0); got != want {
+			t.Fatalf("q=-3 clamps to q=0: %v vs %v", got, want)
+		}
+		if got, want := s.Quantile(9), s.Quantile(1); got != want {
+			t.Fatalf("q=9 clamps to q=1: %v vs %v", got, want)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantile decreased: q=%.2f gave %v after %v", q, v, prev)
+			}
+			prev = v
+		}
+		// The tail must reach the top bucket of the largest observation.
+		if lo, _ := BucketBounds(21); s.Quantile(1) < float64(lo) {
+			t.Fatalf("q=1 = %v, want >= %d (1<<20 lives in bucket 21)", s.Quantile(1), lo)
+		}
+	})
+}

@@ -48,6 +48,13 @@ type RoundRecord struct {
 	QueryTraffic  float64 `json:"query_traffic,omitempty"`
 	QueryResponse float64 `json:"query_response_ms,omitempty"`
 	QueryScope    float64 `json:"query_scope,omitempty"`
+
+	// Trace linkage, set when a causal-trace capture runs alongside the
+	// metrics stream: TraceID is the capture's run id (tracer.FormatRunID)
+	// and TraceSeq the tracer's round sequence for this round, so a
+	// RoundRecord joins exactly one round window of the trace file.
+	TraceID  string `json:"trace_id,omitempty"`
+	TraceSeq int32  `json:"trace_seq,omitempty"`
 }
 
 // QueryRecord is one evaluated query in the event stream. ResponseMS is
@@ -68,6 +75,9 @@ type QueryRecord struct {
 	Transmissions int     `json:"transmissions"`
 	Duplicates    int     `json:"duplicates"`
 	CacheHits     int     `json:"cache_hits,omitempty"`
+	// TraceGUID is the causal-trace query GUID this flood's events carry
+	// (0 when tracing was off) — the join key into trace captures.
+	TraceGUID uint64 `json:"trace_guid,omitempty"`
 }
 
 // SetResponseMS stores a first-response time, mapping the evaluator's

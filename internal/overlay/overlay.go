@@ -9,6 +9,7 @@ import (
 	"slices"
 
 	"ace/internal/fault"
+	"ace/internal/obs/tracer"
 	"ace/internal/physical"
 	"ace/internal/sim"
 )
@@ -50,6 +51,12 @@ type Network struct {
 	// faults is the attached fault injector; nil (the default) injects
 	// nothing and costs consumers one predicted branch.
 	faults *fault.Injector
+
+	// Causal-trace sink for peer lifecycle events (the "overlay" track),
+	// re-acquired when the tracer's enable generation moves. Only the
+	// cold Join/Leave/Crash paths touch it.
+	trRing *tracer.Ring
+	trGen  uint64
 
 	// Mutation journal: every effective Connect/Disconnect/Join/Leave
 	// appends one Event and bumps version. journalBase is the version of
@@ -394,7 +401,26 @@ func (n *Network) revive(p PeerID) bool {
 	n.alive[p] = true
 	n.nAlive++
 	n.record(EventJoin, p, -1)
+	n.traceChurn(tracer.KindPeerJoin, p)
 	return true
+}
+
+// traceChurn records a peer lifecycle event on the tracer's "overlay"
+// track: one atomic load when tracing is off. Only the cold
+// Join/Leave/Crash paths call it, so the hot Connect/Disconnect journal
+// stays untouched.
+func (n *Network) traceChurn(kind tracer.Kind, p PeerID) {
+	if !tracer.On() {
+		return
+	}
+	t := tracer.Default()
+	if g := t.Gen(); g != n.trGen || n.trRing == nil {
+		n.trGen = g
+		n.trRing = t.NewRing("overlay")
+	}
+	n.trRing.Record(tracer.Event{
+		TS: t.Now(), Round: t.RoundSeq(), Kind: kind, A: int32(p),
+	})
 }
 
 // joinTriadProb is the probability that a joining peer's next link goes
@@ -515,6 +541,7 @@ func (n *Network) Leave(p PeerID) {
 	n.alive[p] = false
 	n.nAlive--
 	n.record(EventLeave, p, -1)
+	n.traceChurn(tracer.KindPeerLeave, p)
 }
 
 // Crash removes a live peer WITHOUT the leave handshake: its links stop
@@ -562,6 +589,7 @@ func (n *Network) Crash(p PeerID) {
 	n.alive[p] = false
 	n.nAlive--
 	n.record(EventCrash, p, -1)
+	n.traceChurn(tracer.KindPeerCrash, p)
 }
 
 // PurgeDangling drops holder's half-open adjacency entry for crashed
