@@ -22,9 +22,11 @@ import (
 
 	"ace/internal/core"
 	"ace/internal/experiments"
+	"ace/internal/fault"
 	"ace/internal/gnutella"
 	"ace/internal/overlay"
 	"ace/internal/sim"
+	"ace/internal/snap"
 )
 
 // Re-exported building-block types.
@@ -159,8 +161,60 @@ func NewSystem(opts ...Option) (*System, error) {
 	return &System{env: env, opt: opt, rng: env.RNG.Derive("system")}, nil
 }
 
+// RestoreSystem rebuilds a System from a service-mode checkpoint
+// (internal/snap): the physical topology is regenerated from the
+// checkpointed seed, the overlay and optimizer are restored from their
+// snapshotted state, and the system RNG stream is fast-forwarded to its
+// recorded position. When the checkpoint carries an attached fault
+// plan, a fresh injector is built from it and attached before the
+// optimizer restore — injector decisions are pure hashes of (plan,
+// round), so the restored round counter reproduces the schedule — and
+// returned so the caller can fold its counts into the checkpointed
+// cumulative totals.
+func RestoreSystem(sn *snap.Snapshot) (*System, *fault.Injector, error) {
+	m := sn.Meta
+	sc := experiments.BenchScale
+	sc.PhysicalNodes = int(m.PhysicalNodes)
+	sc.Peers = int(m.Peers)
+	env, err := experiments.RestoreEnv(m.Seed, sc, sn.Net)
+	if err != nil {
+		return nil, nil, err
+	}
+	var inj *fault.Injector
+	if m.Plan.Active() {
+		if inj, err = fault.NewInjector(m.Plan); err != nil {
+			return nil, nil, err
+		}
+		if m.FaultAttached {
+			env.Net.SetFaults(inj)
+		}
+	}
+	cfg := core.DefaultConfig(int(m.Depth))
+	cfg.Policy = Policy(m.Policy)
+	cfg.MaxDegree = 4 * int(m.AvgDegree)
+	cfg.Shards = int(m.Shards)
+	opt, err := core.NewOptimizer(env.Net, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := opt.RestoreState(sn.Opt); err != nil {
+		return nil, nil, err
+	}
+	rng := env.RNG.Derive("system")
+	if pos, ok := sn.Pos("system"); ok {
+		if err := rng.SkipTo(pos); err != nil {
+			return nil, nil, err
+		}
+	}
+	return &System{env: env, opt: opt, rng: rng}, inj, nil
+}
+
 // Network returns the live overlay.
 func (s *System) Network() *Network { return s.env.Net }
+
+// RNG returns the system's round-driving RNG stream; service mode
+// checkpoints its position.
+func (s *System) RNG() *sim.RNG { return s.rng }
 
 // Optimizer returns the ACE optimizer.
 func (s *System) Optimizer() *Optimizer { return s.opt }

@@ -32,6 +32,23 @@
 //	-crash 0.25     25% of churned-out peers crash (half-open edges) instead
 //	                of leaving gracefully
 //	-churnpeers 6   churn 6 peers (departure + replacement join) per step
+//
+// Service mode (crash-safe checkpoint/restore, internal/snap format):
+//
+//	-checkpoint DIR  save a checkpoint into DIR's dual slots after each
+//	                -every steps (and on graceful shutdown); SIGKILL at
+//	                any instruction leaves at least one valid slot
+//	-every N        checkpoint cadence in steps (default 1)
+//	-restore DIR    resume from the newest valid checkpoint in DIR; the
+//	                run configuration is adopted from the checkpoint and
+//	                conflicting explicit flags are rejected. Checkpoints
+//	                keep landing in DIR unless -checkpoint overrides it.
+//	-replay-to N    with -restore: run until step N (replaces -steps)
+//	-pace D         sleep D between steps (kill-recover harness knob)
+//
+// SIGINT/SIGTERM shut down gracefully: final checkpoint, sinks flushed.
+// Any sink write failure (-metrics, -trace, -flight dumps, -checkpoint)
+// exits nonzero and removes the partial output file.
 package main
 
 import (
@@ -41,8 +58,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"ace"
 	"ace/internal/fault"
@@ -51,48 +71,141 @@ import (
 	"ace/internal/obs/tracer"
 	"ace/internal/overlay"
 	"ace/internal/sim"
+	"ace/internal/snap"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "deterministic seed")
-	phys := flag.Int("phys", 2000, "physical topology size")
-	peers := flag.Int("peers", 500, "overlay population")
-	c := flag.Int("c", 8, "average overlay degree")
-	depth := flag.Int("h", 1, "closure depth")
-	steps := flag.Int("steps", 12, "ACE rounds")
-	queries := flag.Int("queries", 50, "queries sampled per step")
-	policyName := flag.String("policy", "random", "random | naive | closest")
-	shards := flag.Int("shards", 0, "sharded round engine: shard count (0 serial, -1 GOMAXPROCS)")
-	verbose := flag.Bool("v", false, "print per-round phase timings and query means")
-	metricsPath := flag.String("metrics", "", "write per-round/per-query JSONL records to this file")
-	debugAddr := flag.String("debug", "", "serve pprof and the obs registry on this address (e.g. :6060)")
-	tracePath := flag.String("trace", "", "record a causal trace to this file (.json selects Chrome trace-event format, else JSONL)")
-	flightPrefix := flag.String("flight", "", "flight recorder only: auto-dump <prefix>-round<N>-<trigger>.json on anomalies")
-	traceAnalyze := flag.String("trace-analyze", "", "analyze a recorded trace file and print the critical-path report, then exit")
-	faultsPath := flag.String("faults", "", "load a fault plan (JSON) and inject it into the run")
-	faultOnset := flag.Int("faultonset", 0, "attach the fault plan at this step instead of from the start (a mid-run fault spike exercises the flight recorder)")
-	loss := flag.Float64("loss", 0, "shorthand fault plan: message loss = probe timeout = connect failure rate")
-	crash := flag.Float64("crash", 0, "fraction of churned-out peers that crash instead of leaving [0,1]")
-	churnPeers := flag.Int("churnpeers", 0, "churn this many peers (leave/crash + rejoin) before each step")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole program behind flag parsing, returning the exit
+// code instead of calling os.Exit so the kill-recover harness can
+// drive reference runs in-process.
+func run(args []string) int {
+	fs := flag.NewFlagSet("acesim", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	phys := fs.Int("phys", 2000, "physical topology size")
+	peers := fs.Int("peers", 500, "overlay population")
+	c := fs.Int("c", 8, "average overlay degree")
+	depth := fs.Int("h", 1, "closure depth")
+	steps := fs.Int("steps", 12, "ACE rounds")
+	queries := fs.Int("queries", 50, "queries sampled per step")
+	policyName := fs.String("policy", "random", "random | naive | closest")
+	shards := fs.Int("shards", 0, "sharded round engine: shard count (0 serial, -1 GOMAXPROCS)")
+	verbose := fs.Bool("v", false, "print per-round phase timings and query means")
+	metricsPath := fs.String("metrics", "", "write per-round/per-query JSONL records to this file")
+	debugAddr := fs.String("debug", "", "serve pprof and the obs registry on this address (e.g. :6060)")
+	tracePath := fs.String("trace", "", "record a causal trace to this file (.json selects Chrome trace-event format, else JSONL)")
+	flightPrefix := fs.String("flight", "", "flight recorder only: auto-dump <prefix>-round<N>-<trigger>.json on anomalies")
+	traceAnalyze := fs.String("trace-analyze", "", "analyze a recorded trace file and print the critical-path report, then exit")
+	faultsPath := fs.String("faults", "", "load a fault plan (JSON) and inject it into the run")
+	faultOnset := fs.Int("faultonset", 0, "attach the fault plan at this step instead of from the start (a mid-run fault spike exercises the flight recorder)")
+	loss := fs.Float64("loss", 0, "shorthand fault plan: message loss = probe timeout = connect failure rate")
+	crash := fs.Float64("crash", 0, "fraction of churned-out peers that crash instead of leaving [0,1]")
+	churnPeers := fs.Int("churnpeers", 0, "churn this many peers (leave/crash + rejoin) before each step")
+	checkpointDir := fs.String("checkpoint", "", "checkpoint directory (dual-slot, crash-safe)")
+	every := fs.Int("every", 1, "checkpoint after every N steps")
+	restoreDir := fs.String("restore", "", "resume from the newest valid checkpoint in this directory")
+	replayTo := fs.Int("replay-to", 0, "with -restore: run until this step (replaces -steps)")
+	pace := fs.Duration("pace", 0, "sleep this long between steps")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if *traceAnalyze != "" {
 		f, err := os.Open(*traceAnalyze)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "acesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		capture, err := tracer.ReadAny(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "acesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := tracer.WriteReport(os.Stdout, capture, 5); err != nil {
 			fmt.Fprintln(os.Stderr, "acesim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
+	}
+	if *every < 1 {
+		fmt.Fprintln(os.Stderr, "acesim: -every must be at least 1")
+		return 2
+	}
+	if *replayTo != 0 && *restoreDir == "" {
+		fmt.Fprintln(os.Stderr, "acesim: -replay-to requires -restore")
+		return 2
+	}
+
+	// Service mode: load the checkpoint first — on restore its Meta IS
+	// the run configuration, and explicitly-set flags that contradict it
+	// are rejected rather than silently forking the trajectory.
+	var resumed *snap.Snapshot
+	if *restoreDir != "" {
+		store, err := snap.OpenStore(*restoreDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acesim:", err)
+			return 1
+		}
+		s, warnings, err := store.Load()
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "acesim: restore:", w)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acesim:", err)
+			return 1
+		}
+		resumed = s
+		m := s.Meta
+		for _, conflict := range []struct {
+			flag string
+			bad  bool
+		}{
+			{"seed", *seed != m.Seed},
+			{"phys", int64(*phys) != m.PhysicalNodes},
+			{"peers", int64(*peers) != m.Peers},
+			{"c", int64(*c) != m.AvgDegree},
+			{"h", int64(*depth) != m.Depth},
+			{"shards", int64(*shards) != m.Shards},
+			{"queries", int64(*queries) != m.Queries},
+			{"churnpeers", int64(*churnPeers) != m.ChurnPeers},
+			{"faultonset", int64(*faultOnset) != m.FaultOnset},
+			{"policy", policyNumber(*policyName) != m.Policy},
+			{"faults", true},
+			{"loss", true},
+			{"crash", true},
+		} {
+			if explicit[conflict.flag] && conflict.bad {
+				fmt.Fprintf(os.Stderr, "acesim: -%s conflicts with the checkpointed run configuration\n", conflict.flag)
+				return 2
+			}
+		}
+		*seed, *phys, *peers = m.Seed, int(m.PhysicalNodes), int(m.Peers)
+		*c, *depth, *shards = int(m.AvgDegree), int(m.Depth), int(m.Shards)
+		*queries, *churnPeers = int(m.Queries), int(m.ChurnPeers)
+		*faultOnset = int(m.FaultOnset)
+		*policyName = policyString(m.Policy)
+		if *checkpointDir == "" {
+			*checkpointDir = *restoreDir
+		}
+	}
+	startStep := 0
+	if resumed != nil {
+		startStep = int(resumed.Meta.Step)
+	}
+	total := *steps
+	if *replayTo > 0 {
+		total = *replayTo
+	} else if resumed != nil && !explicit["steps"] {
+		total = startStep + *steps
+	}
+	if resumed != nil && total <= startStep {
+		fmt.Fprintf(os.Stderr, "acesim: nothing to replay (checkpoint at step %d, target %d)\n", startStep, total)
+		return 2
 	}
 
 	// Causal tracing: -trace records the full run into DefaultCapacity
@@ -131,47 +244,63 @@ func main() {
 		policy = ace.PolicyClosest
 	default:
 		fmt.Fprintf(os.Stderr, "acesim: unknown policy %q\n", *policyName)
-		os.Exit(2)
+		return 2
 	}
 
-	// Assemble the fault plan: an explicit -faults file wins, the -loss
-	// shorthand fills the three rate knobs uniformly, and -crash rides
+	// Assemble the fault plan: the checkpoint's plan on restore, else an
+	// explicit -faults file, else the -loss shorthand; -crash rides
 	// along in either case so plan files can carry the full scenario.
 	var plan fault.Plan
-	if *faultsPath != "" {
+	switch {
+	case resumed != nil:
+		plan = resumed.Meta.Plan
+	case *faultsPath != "":
 		p, err := fault.LoadPlan(*faultsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "acesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		plan = p
-	} else if *loss > 0 {
+	case *loss > 0:
 		plan = fault.Plan{LossRate: *loss, ProbeTimeoutRate: *loss, ConnectFailRate: *loss}
 	}
-	if plan.Seed == 0 {
-		plan.Seed = *seed
-	}
-	if *crash != 0 && plan.CrashFraction == 0 {
-		plan.CrashFraction = *crash
+	if resumed == nil {
+		if plan.Seed == 0 {
+			plan.Seed = *seed
+		}
+		if *crash != 0 && plan.CrashFraction == 0 {
+			plan.CrashFraction = *crash
+		}
 	}
 	crashFrac := plan.CrashFraction
 	if crashFrac < 0 || crashFrac > 1 {
 		fmt.Fprintln(os.Stderr, "acesim: -crash outside [0,1]")
-		os.Exit(2)
+		return 2
 	}
 
 	var stream *obs.Stream
+	var metricsFile *os.File
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "acesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
+		metricsFile = f
 		stream = obs.NewStream(f)
 		// The JSONL stream should surface the gated ace.* counters
 		// (including the fault reactions) in its final snapshot.
 		obs.Enable()
+	}
+	// failSink reports a sink write failure: the partial output is
+	// removed so no consumer mistakes a torn file for a complete run.
+	failSink := func(what, path string, err error) int {
+		fmt.Fprintf(os.Stderr, "acesim: %s: %v\n", what, err)
+		if path != "" {
+			os.Remove(path)
+		}
+		return 1
 	}
 	if *debugAddr != "" {
 		// The live endpoint is only useful with the registry recording.
@@ -198,33 +327,103 @@ func main() {
 		obs.Enable()
 	}
 
-	sys, err := ace.NewSystem(
-		ace.WithSeed(*seed),
-		ace.WithSize(*phys, *peers),
-		ace.WithAvgDegree(*c),
-		ace.WithDepth(*depth),
-		ace.WithPolicy(policy),
-		ace.WithShards(*shards),
+	// Build fresh or restore: either way sys, the injector, the RNG
+	// streams, and the blind baseline end up in the same state an
+	// uninterrupted run would hold at startStep.
+	var (
+		sys            *ace.System
+		inj            *fault.Injector
+		faultsAttached bool
+		faultBase      fault.Stats
+		err            error
 	)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "acesim:", err)
-		os.Exit(1)
-	}
-	var inj *fault.Injector
-	if plan.Active() {
-		if inj, err = fault.NewInjector(plan); err != nil {
+	churnRNG := sim.NewRNG(*seed).Derive("acesim-churn")
+	rng := sim.NewRNG(*seed).Derive("acesim-queries")
+	if resumed != nil {
+		sys, inj, err = ace.RestoreSystem(resumed)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "acesim:", err)
-			os.Exit(1)
+			return 1
 		}
-		if *faultOnset <= 1 {
-			sys.Network().SetFaults(inj)
+		faultsAttached = resumed.Meta.FaultAttached
+		faultBase = resumed.Meta.FaultBase
+		for _, s := range []struct {
+			name string
+			rng  *sim.RNG
+		}{{"acesim-churn", churnRNG}, {"acesim-queries", rng}} {
+			pos, ok := resumed.Pos(s.name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "acesim: checkpoint lacks the %q rng stream\n", s.name)
+				return 1
+			}
+			if err := s.rng.SkipTo(pos); err != nil {
+				fmt.Fprintln(os.Stderr, "acesim:", err)
+				return 1
+			}
 		}
+		fmt.Fprintf(os.Stderr, "acesim: resumed at step %d, replaying to %d\n", startStep, total)
+	} else {
+		sys, err = ace.NewSystem(
+			ace.WithSeed(*seed),
+			ace.WithSize(*phys, *peers),
+			ace.WithAvgDegree(*c),
+			ace.WithDepth(*depth),
+			ace.WithPolicy(policy),
+			ace.WithShards(*shards),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acesim:", err)
+			return 1
+		}
+		if plan.Active() {
+			if inj, err = fault.NewInjector(plan); err != nil {
+				fmt.Fprintln(os.Stderr, "acesim:", err)
+				return 1
+			}
+			if *faultOnset <= 1 {
+				sys.Network().SetFaults(inj)
+				faultsAttached = true
+			}
+		}
+	}
+
+	var store *snap.Store
+	if *checkpointDir != "" {
+		if store, err = snap.OpenStore(*checkpointDir); err != nil {
+			fmt.Fprintln(os.Stderr, "acesim:", err)
+			return 1
+		}
+	}
+	// saveCheckpoint captures the full engine state after step k. The
+	// engine sits at a rebuild boundary here (Optimize ends every burst
+	// with a RebuildTrees), which is the state RestoreState can rebuild
+	// bit-identically. baseline is captured by reference: it is filled in
+	// below, before the first step can run.
+	var baseline snap.Baseline
+	saveCheckpoint := func(k int) error {
+		return store.Save(&snap.Snapshot{
+			Meta: snap.Meta{
+				Step: int64(k), Seed: *seed,
+				PhysicalNodes: int64(*phys), Peers: int64(*peers), AvgDegree: int64(*c),
+				Depth: int64(*depth), Shards: int64(*shards), Policy: int64(policy),
+				Queries: int64(*queries), ChurnPeers: int64(*churnPeers),
+				Plan: plan, FaultOnset: int64(*faultOnset), FaultAttached: faultsAttached,
+				FaultBase: addStats(faultBase, inj.Stats()),
+				Baseline:  baseline,
+			},
+			Net: sys.Network().SnapshotState(),
+			Opt: sys.Optimizer().SnapshotState(),
+			RNGs: []snap.RNGPos{
+				{Name: "system", Pos: sys.RNG().Pos()},
+				{Name: "acesim-churn", Pos: churnRNG.Pos()},
+				{Name: "acesim-queries", Pos: rng.Pos()},
+			},
+		})
 	}
 
 	// churnStep removes n random live peers — each crashing with the
 	// plan's crash fraction, leaving gracefully otherwise — and rejoins a
 	// random dead slot per departure, keeping the population constant.
-	churnRNG := sim.NewRNG(*seed).Derive("acesim-churn")
 	churnStep := func(n int) (left, crashed int) {
 		net := sys.Network()
 		for i := 0; i < n && net.NumAlive() > 2; i++ {
@@ -253,7 +452,6 @@ func main() {
 		return left, crashed
 	}
 
-	rng := sim.NewRNG(*seed).Derive("acesim-queries")
 	sample := func(blind bool, label string, round int) (traffic, response, scope, success float64) {
 		net := sys.Network()
 		alive := net.AlivePeers()
@@ -292,12 +490,40 @@ func main() {
 		return t.Mean(), r.Mean(), s.Mean(), success
 	}
 
-	bt, br, bs, _ := sample(true, "blind", 0)
+	// The blind baseline is sampled once at step 0 and checkpointed;
+	// resampling it on restore would re-draw from the query stream and
+	// fork every later measurement.
+	var bt, br, bs float64
+	if resumed != nil {
+		bl := resumed.Meta.Baseline
+		bt, br, bs = bl.Traffic, bl.Response, bl.Scope
+	} else {
+		bt, br, bs, _ = sample(true, "blind", 0)
+	}
+	baseline = snap.Baseline{Traffic: bt, Response: br, Scope: bs}
+
+	// SIGINT/SIGTERM break the step loop; the shutdown path below still
+	// writes the final checkpoint and flushes every sink.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
 	fmt.Printf("blind flooding baseline: traffic %.0f  response %.1f ms  scope %.1f\n", bt, br, bs)
 	fmt.Printf("%4s  %10s  %8s  %8s  %7s  %6s  %s\n", "step", "traffic", "Δtraffic", "response", "Δresp", "scope", "degree")
-	for k := 1; k <= *steps; k++ {
-		if inj != nil && *faultOnset > 1 && k == *faultOnset {
+	lastSaved := -1
+	lastStep := startStep
+	interrupted := false
+	for k := startStep + 1; k <= total && !interrupted; k++ {
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "acesim: %v: shutting down gracefully\n", sig)
+			interrupted = true
+			continue
+		default:
+		}
+		if inj != nil && !faultsAttached && *faultOnset > 1 && k == *faultOnset {
 			sys.Network().SetFaults(inj)
+			faultsAttached = true
 			fmt.Fprintf(os.Stderr, "acesim: fault plan attached at step %d\n", k)
 		}
 		if *churnPeers > 0 {
@@ -308,6 +534,7 @@ func main() {
 		}
 		rep := sys.Optimize(1)
 		t, r, s, succ := sample(false, fmt.Sprintf("step%d", k), k)
+		lastStep = k
 		if flight != nil {
 			if path, trigger, fired := flight.Note(tracer.RoundStats{
 				Round:           tracer.Default().RoundSeq(),
@@ -318,6 +545,9 @@ func main() {
 				ProbeTimeouts:   rep.ProbeTimeouts,
 			}); fired {
 				fmt.Fprintf(os.Stderr, "acesim: flight recorder dumped %s (trigger: %s)\n", path, trigger)
+			}
+			if err := flight.Err(); err != nil {
+				return failSink("flight recorder", "", err)
 			}
 		}
 		fmt.Printf("%4d  %10.0f  %7.1f%%  %8.1f  %6.1f%%  %6.1f  %.2f   (repl %d, tentative %d, repairs %d)\n",
@@ -360,8 +590,30 @@ func main() {
 				PurgedEdges: rep.PurgedEdges,
 				TraceID:     traceID, TraceSeq: tracer.Default().RoundSeq(),
 			})
+			if err := stream.Err(); err != nil {
+				metricsFile.Close()
+				return failSink("metrics stream", *metricsPath, err)
+			}
+		}
+		if store != nil && k%*every == 0 {
+			sn := saveCheckpoint(k)
+			if sn != nil {
+				return failSink("checkpoint", "", sn)
+			}
+			lastSaved = k
+		}
+		if *pace > 0 {
+			time.Sleep(*pace)
 		}
 	}
+	// Final checkpoint: on graceful shutdown, and whenever the cadence
+	// left the last completed step unsaved.
+	if store != nil && lastStep > startStep && lastSaved != lastStep {
+		if err := saveCheckpoint(lastStep); err != nil {
+			return failSink("checkpoint", "", err)
+		}
+	}
+
 	fmt.Printf("total optimization overhead: %.0f (traffic-cost units)\n", sys.Optimizer().TotalOverhead())
 	if *verbose && obs.Enabled() {
 		for _, s := range obs.Default().Snapshot() {
@@ -374,7 +626,7 @@ func main() {
 		}
 	}
 	if inj != nil {
-		st := inj.Stats()
+		st := addStats(faultBase, inj.Stats())
 		fmt.Printf("injected faults: %d messages lost, %d probe timeouts, %d connect failures\n",
 			st.MessagesLost, st.ProbeTimeouts, st.ConnectFailures)
 	}
@@ -383,16 +635,48 @@ func main() {
 			stream.EmitSnapshot(obs.Default().Snapshot())
 		}
 		if err := stream.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "acesim: metrics stream:", err)
-			os.Exit(1)
+			metricsFile.Close()
+			return failSink("metrics stream", *metricsPath, err)
 		}
 	}
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath); err != nil {
-			fmt.Fprintln(os.Stderr, "acesim: trace:", err)
-			os.Exit(1)
+			return failSink("trace", *tracePath, err)
 		}
 		fmt.Fprintf(os.Stderr, "acesim: trace written to %s (run %s)\n", *tracePath, traceID)
+	}
+	return 0
+}
+
+// addStats sums a checkpointed fault-count base with the live
+// injector's own counts: the cumulative totals across restarts.
+func addStats(base, cur fault.Stats) fault.Stats {
+	return fault.Stats{
+		MessagesLost:    base.MessagesLost + cur.MessagesLost,
+		ProbeTimeouts:   base.ProbeTimeouts + cur.ProbeTimeouts,
+		ConnectFailures: base.ConnectFailures + cur.ConnectFailures,
+	}
+}
+
+func policyNumber(name string) int64 {
+	switch name {
+	case "naive":
+		return int64(ace.PolicyNaive)
+	case "closest":
+		return int64(ace.PolicyClosest)
+	default:
+		return int64(ace.PolicyRandom)
+	}
+}
+
+func policyString(n int64) string {
+	switch ace.Policy(n) {
+	case ace.PolicyNaive:
+		return "naive"
+	case ace.PolicyClosest:
+		return "closest"
+	default:
+		return "random"
 	}
 }
 

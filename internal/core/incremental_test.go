@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"ace/internal/fault"
 	"ace/internal/overlay"
 	"ace/internal/physical"
 	"ace/internal/sim"
@@ -316,5 +317,51 @@ func TestRebuildTreesQuiescentIsFree(t *testing.T) {
 	}
 	if first != again {
 		t.Fatalf("exchange cost drifted while idle: %v vs %v", first, again)
+	}
+}
+
+// TestIncrementalMatchesFullUnderFaults is the fault-era differential:
+// same plan, same churn-plus-crash workload, incremental vs dense-every-
+// round. It pins the staleness-readmit path in dirtyRegion — when an
+// excluded peer comes back, no cached closure holds it (holders rebuilt
+// without it while it was invisible), so its h-hop neighborhood must be
+// re-dirtied through the current adjacency or incremental closures
+// silently diverge from a full rebuild.
+func TestIncrementalMatchesFullUnderFaults(t *testing.T) {
+	const seed = 20260808
+	const rounds = 80
+	plan := fault.Plan{
+		Seed:                 99,
+		ProbeTimeoutRate:     0.25,
+		ConnectFailRate:      0.3,
+		UnresponsiveFraction: 0.25,
+		UnresponsivePeriod:   6,
+	}
+
+	incCfg := DefaultConfig(2)
+	incCfg.RebuildFraction = 1 // never fall back: the dirty-region path must be exact
+	fullCfg := DefaultConfig(2)
+	fullCfg.NoIncremental = true
+
+	inc := newDiffSide(t, seed, incCfg)
+	full := newDiffSide(t, seed, fullCfg)
+	inc.net.SetFaults(newInjector(t, plan))
+	full.net.SetFaults(newInjector(t, plan))
+
+	var expired int
+	for r := 0; r < rounds; r++ {
+		churnFaultStep(inc, r)
+		churnFaultStep(full, r)
+		ri := stripTiming(inc.opt.Round(inc.round))
+		rf := stripTiming(full.opt.Round(full.round))
+		expired += ri.StaleExpired
+		if ri != rf {
+			t.Fatalf("round %d: reports diverged\nincremental: %+v\nfull:        %+v", r, ri, rf)
+		}
+		requireSameStates(t, r, inc.opt, full.opt, inc.net.N())
+		requireSameEdges(t, r, inc.net, full.net)
+	}
+	if expired == 0 {
+		t.Fatal("workload never readmitted a stale peer; the test exercises nothing")
 	}
 }

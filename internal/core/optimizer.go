@@ -75,6 +75,8 @@ type Optimizer struct {
 	dirtyBuf []overlay.PeerID
 	candBuf  []overlay.PeerID
 	dirtySet peerBitset
+	flipSet  peerBitset
+	flipBuf  []overlay.PeerID
 
 	// scratch holds one buildState arena per rebuild worker.
 	scratch []*buildScratch
@@ -409,12 +411,49 @@ func (o *Optimizer) dirtyRegion(events []overlay.Event, nAlive int) *peerBitset 
 		for _, f := range o.exclFlips {
 			dirty.set(f)
 			o.rev.forEach(f, func(p overlay.PeerID, _ bool) { dirty.set(p) })
+			if !o.excluded[f] {
+				// Readmitted: while f was excluded every holder rebuilt
+				// WITHOUT it, so the postings above name nobody — but every
+				// peer within h hops must now re-include f. Resolve those
+				// through the graph instead; the unfiltered BFS is a safe
+				// overapproximation of exclusion-filtered reachability
+				// (rebuilding an unaffected peer reproduces its state).
+				o.markNeighborhood(dirty, f)
+			}
 		}
 	}
 	if dirty.count() > limit {
 		return nil
 	}
 	return dirty
+}
+
+// markNeighborhood dirties every peer within cfg.Depth hops of f over the
+// current adjacency. Any peer whose closure must re-include a readmitted f
+// reaches it within h hops through non-excluded interior nodes, and that
+// path reversed makes the peer reachable from f — so the unfiltered BFS
+// is a superset of the affected set, never missing one.
+func (o *Optimizer) markNeighborhood(dirty *peerBitset, f overlay.PeerID) {
+	seen := &o.flipSet
+	seen.reset(o.net.N())
+	seen.set(f)
+	queue := append(o.flipBuf[:0], f)
+	head, depth, levelEnd := 0, 0, 1
+	for head < len(queue) && depth < o.cfg.Depth {
+		u := queue[head]
+		head++
+		for _, v := range o.net.NeighborsView(u) {
+			if seen.set(v) {
+				dirty.set(v)
+				queue = append(queue, v)
+			}
+		}
+		if head == levelEnd {
+			depth++
+			levelEnd = len(queue)
+		}
+	}
+	o.flipBuf = queue[:0]
 }
 
 // rebuildDirty drops state of departed peers and rebuilds the live dirty

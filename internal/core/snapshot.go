@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"ace/internal/overlay"
+)
+
+// OptState is the optimizer's history-dependent state in exported form,
+// for the snapshot codec (internal/snap). It deliberately excludes every
+// derived structure — PeerState slabs, the reverse closure index, cached
+// exchange contributions, scratch arenas — which RestoreState rebuilds
+// from the network; the incremental-vs-full invariant (a cached state
+// always equals what a fresh dense build would produce now, pinned by
+// the differential tests in incremental_test.go) is what guarantees the
+// rebuilt states are bit-identical to the cached ones a running process
+// would have held.
+type OptState struct {
+	// Cursor is the journal position the peer states reflect; Synced
+	// holds off the incremental path until the first full rebuild.
+	Cursor uint64
+	Synced bool
+	// Stats is the cumulative rebuild accounting.
+	Stats RebuildStats
+	// RoundNum is the fault-era protocol round counter that drives
+	// injector windows and blacklist expiry.
+	RoundNum int64
+	// TotalOverhead is the accumulated probe + exchange traffic cost.
+	TotalOverhead float64
+	// The per-peer fault arrays (fault.go). All five are empty when the
+	// run never attached an injector nor saw crash debris, and all five
+	// are exactly net.N() long otherwise.
+	StaleFor   []int32
+	Excluded   []bool
+	DialFails  []uint8
+	BlackExp   []uint8
+	BlackUntil []int32
+	// Pending is the outstanding Figure-4(c) experiments, flattened in
+	// canonical (A, B) ascending order so identical engine states always
+	// encode to identical bytes.
+	Pending []PendingEntry
+}
+
+// PendingEntry is one outstanding Figure-4(c) experiment: proposer A
+// connected tentatively to H and cuts A—B once B drops its own link to
+// H, or abandons the experiment when TTL expires.
+type PendingEntry struct {
+	A, B, H overlay.PeerID
+	TTL     int32
+}
+
+// SnapshotState captures the optimizer's history-dependent state. The
+// fault arrays alias the optimizer's own slices and are invalidated by
+// the next round; encode the result before stepping again.
+func (o *Optimizer) SnapshotState() *OptState {
+	st := &OptState{
+		Cursor:        o.cursor,
+		Synced:        o.synced,
+		Stats:         o.stats,
+		RoundNum:      int64(o.roundNum),
+		TotalOverhead: o.totalOverhead,
+		StaleFor:      o.staleFor,
+		Excluded:      o.excluded,
+		DialFails:     o.dialFails,
+		BlackExp:      o.blackExp,
+		BlackUntil:    o.blackUntil,
+	}
+	for a, m := range o.pending {
+		if len(m) == 0 {
+			continue
+		}
+		bs := make([]overlay.PeerID, 0, len(m))
+		for b := range m {
+			bs = append(bs, b)
+		}
+		slices.Sort(bs)
+		for _, b := range bs {
+			pc := m[b]
+			st.Pending = append(st.Pending, PendingEntry{
+				A: overlay.PeerID(a), B: b, H: pc.h, TTL: int32(pc.ttl),
+			})
+		}
+	}
+	return st
+}
+
+// RestoreState installs a snapshot into a freshly constructed optimizer
+// (NewOptimizer over the restored network, same Config as the snapshotted
+// run). The order matters for bit-fidelity: the fault arrays go in first
+// — exclusions shape closures — then every live peer's state is rebuilt
+// densely, and only then do the history counters overwrite the
+// bookkeeping the rebuild itself bumped. With the cursor and synced flag
+// restored, the next round takes the incremental path exactly as the
+// uninterrupted process would have.
+func (o *Optimizer) RestoreState(st *OptState) error {
+	n := o.net.N()
+	if st.RoundNum < 0 {
+		return fmt.Errorf("core: restore: negative round counter %d", st.RoundNum)
+	}
+	if lf := len(st.StaleFor); lf != len(st.Excluded) || lf != len(st.DialFails) ||
+		lf != len(st.BlackExp) || lf != len(st.BlackUntil) {
+		return fmt.Errorf("core: restore: fault array sizes disagree (%d/%d/%d/%d/%d)",
+			lf, len(st.Excluded), len(st.DialFails), len(st.BlackExp), len(st.BlackUntil))
+	}
+	if lf := len(st.StaleFor); lf != 0 && lf != n {
+		return fmt.Errorf("core: restore: fault arrays sized %d for %d peers", lf, n)
+	}
+	// Snapshots must be taken at a rebuild boundary: cursor == version,
+	// no journal tail. Right after a rebuild the cached states equal a
+	// fresh dense build over the current network (the incremental
+	// invariant), which is exactly what lets this method reconstruct them;
+	// mid-round — after Phase-3 rewiring journaled past the cursor — the
+	// cached states are one rebuild behind the network and no rebuild-now
+	// can reproduce them. ace.System.Optimize ends every burst with a
+	// RebuildTrees, so its inter-burst state always satisfies this.
+	if st.Synced {
+		events, _, ok := o.net.EventsSince(st.Cursor)
+		if !ok {
+			return fmt.Errorf("core: restore: cursor %d outside the journal window", st.Cursor)
+		}
+		if len(events) != 0 {
+			return fmt.Errorf("core: restore: %d journal events past the cursor (snapshot not at a rebuild boundary)", len(events))
+		}
+	}
+	for i, pe := range st.Pending {
+		if pe.A < 0 || int(pe.A) >= n || pe.B < 0 || int(pe.B) >= n || pe.H < 0 || int(pe.H) >= n {
+			return fmt.Errorf("core: restore: pending[%d] peer out of range", i)
+		}
+		if pe.TTL < 1 || pe.TTL > PendingTTL {
+			return fmt.Errorf("core: restore: pending[%d] ttl %d outside [1,%d]", i, pe.TTL, PendingTTL)
+		}
+		if i > 0 {
+			prev := st.Pending[i-1]
+			if pe.A < prev.A || (pe.A == prev.A && pe.B <= prev.B) {
+				return fmt.Errorf("core: restore: pending entries not in (A,B) ascending order at %d", i)
+			}
+		}
+	}
+	counts := make(map[overlay.PeerID]int)
+	for _, pe := range st.Pending {
+		counts[pe.A]++
+		if counts[pe.A] > MaxPending {
+			return fmt.Errorf("core: restore: peer %d holds more than %d pending experiments", pe.A, MaxPending)
+		}
+	}
+
+	if len(st.StaleFor) != 0 {
+		o.staleFor = append([]int32(nil), st.StaleFor...)
+		o.excluded = append([]bool(nil), st.Excluded...)
+		o.dialFails = append([]uint8(nil), st.DialFails...)
+		o.blackExp = append([]uint8(nil), st.BlackExp...)
+		o.blackUntil = append([]int32(nil), st.BlackUntil...)
+	}
+
+	if st.Synced {
+		clear(o.state)
+		clear(o.contrib)
+		o.rev.reset()
+		o.buildStates(o.alivePeers(), nil)
+	}
+
+	o.cursor = st.Cursor
+	o.synced = st.Synced
+	o.stats = st.Stats
+	o.roundNum = int(st.RoundNum)
+	o.totalOverhead = st.TotalOverhead
+	clear(o.pending)
+	for _, pe := range st.Pending {
+		if o.pending[pe.A] == nil {
+			o.pending[pe.A] = make(map[overlay.PeerID]pendingCut, MaxPending)
+		}
+		o.pending[pe.A][pe.B] = pendingCut{h: pe.H, ttl: int(pe.TTL)}
+	}
+	return nil
+}

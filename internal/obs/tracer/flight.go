@@ -32,6 +32,7 @@ type FlightRecorder struct {
 	hist     []RoundStats // trailing window, oldest first
 	cooldown int32        // no dumps until the round sequence passes this
 	dumps    int
+	err      error // first dump-write failure, sticky
 }
 
 // FlightConfig tunes the flight recorder. Zero values select defaults
@@ -185,14 +186,34 @@ func (f *FlightRecorder) dump(round int32, trigger string) (string, error) {
 	path := filepath.Join(f.cfg.Dir, fmt.Sprintf("%s-round%d-%s.json", f.cfg.Prefix, round, trigger))
 	out, err := os.Create(path)
 	if err != nil {
+		f.setErr(err)
 		return "", err
 	}
-	defer out.Close()
 	if err := WriteChrome(out, f.t.CaptureSince(minRound)); err != nil {
+		out.Close()
+		os.Remove(path) // never leave a torn dump behind
+		f.setErr(err)
+		return "", err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(path)
+		f.setErr(err)
 		return "", err
 	}
 	return path, nil
 }
+
+func (f *FlightRecorder) setErr(err error) {
+	if f.err == nil {
+		f.err = err
+	}
+}
+
+// Err returns the first dump-write failure, nil while every dump (if
+// any) landed intact. A failed dump is deleted rather than left
+// partial, so callers treating dumps as a sink can surface this error
+// and exit nonzero without risking a torn trace on disk.
+func (f *FlightRecorder) Err() error { return f.err }
 
 // Dumps reports how many dump files the recorder has written.
 func (f *FlightRecorder) Dumps() int { return f.dumps }

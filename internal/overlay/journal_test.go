@@ -174,3 +174,78 @@ func TestJournalCapSheddingForcesResync(t *testing.T) {
 	}
 	eventsEqual(t, got, []Event{{Kind: EventConnect, P: 0, Q: 2}})
 }
+
+// TestJournalShedBoundaryCursor pins the exact edge of a shed: after the
+// oldest half is dropped, a cursor equal to the new base reads the full
+// surviving tail, while base−1 — one event too old — forces a resync.
+func TestJournalShedBoundaryCursor(t *testing.T) {
+	net := testNet(t, 3)
+	rng := sim.NewRNG(7)
+	allAlive(rng, net)
+	for i := 0; i < maxJournal/2+10; i++ {
+		net.Connect(0, 1)
+		net.Disconnect(0, 1)
+	}
+	base := net.journalBase
+	if base == 0 {
+		t.Fatal("shed did not advance the journal base")
+	}
+
+	got, next, ok := net.EventsSince(base)
+	if !ok {
+		t.Fatalf("cursor exactly at shed boundary %d must be readable", base)
+	}
+	if next != net.Version() || uint64(len(got)) != net.Version()-base {
+		t.Fatalf("boundary read: %d events next=%d, want %d events next=%d",
+			len(got), next, net.Version()-base, net.Version())
+	}
+	if _, next, ok := net.EventsSince(base - 1); ok {
+		t.Fatal("cursor one before the shed boundary must force a resync")
+	} else if next != net.Version() {
+		t.Fatalf("resync cursor = %d, want %d", next, net.Version())
+	}
+}
+
+// TestJournalCapScalesWithPopulation exercises the population-scaled cap
+// (PR 6): with 2N > maxJournal slots, more than maxJournal events must be
+// retained without a shed — one round's churn stays incrementally
+// consumable — and CompactJournal still trims the oversized journal.
+func TestJournalCapScalesWithPopulation(t *testing.T) {
+	nPeers := maxJournal/2 + 1024 // journalCap = 2*nPeers > maxJournal
+	attach := make([]int, nPeers)
+	net, err := NewNetwork(testNet(t, 1).oracle, attach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.journalCap() <= maxJournal {
+		t.Fatalf("journalCap = %d, want > %d", net.journalCap(), maxJournal)
+	}
+	rng := sim.NewRNG(8)
+	net.Join(rng, 0, 0)
+	net.Join(rng, 1, 0)
+	for i := 0; i < maxJournal/2+512; i++ {
+		net.Connect(0, 1)
+		net.Disconnect(0, 1)
+	}
+	if net.version <= maxJournal {
+		t.Fatalf("test generated only %d events, want > %d", net.version, maxJournal)
+	}
+	if net.journalBase != 0 {
+		t.Fatalf("journal shed at base %d despite population-scaled cap", net.journalBase)
+	}
+	if events, _, ok := net.EventsSince(0); !ok || uint64(len(events)) != net.version {
+		t.Fatalf("full history read: ok=%v len=%d, want true %d", ok, len(events), net.version)
+	}
+
+	mid := net.version - 100
+	net.CompactJournal(mid)
+	if net.journalBase != mid {
+		t.Fatalf("compacted base = %d, want %d", net.journalBase, mid)
+	}
+	if events, _, ok := net.EventsSince(mid); !ok || len(events) != 100 {
+		t.Fatalf("post-compaction read: ok=%v len=%d, want true 100", ok, len(events))
+	}
+	if _, _, ok := net.EventsSince(mid - 1); ok {
+		t.Fatal("compacted-away cursor should report !ok")
+	}
+}

@@ -1,0 +1,180 @@
+package overlay
+
+import (
+	"fmt"
+	"slices"
+
+	"ace/internal/physical"
+)
+
+// NetState is the full history-dependent state of a Network in exported
+// form, for the snapshot codec (internal/snap). Everything a restored
+// Network cannot re-derive from (seed, config) is here: attachments,
+// liveness, adjacency, host caches, and the mutation journal with its
+// version. Derived tallies (edge count, live count, crash-debris holder
+// lists) are reconstructed — and cross-checked — by RestoreNetwork, so a
+// corrupted snapshot fails restore instead of corrupting the engine.
+//
+// The slices returned by SnapshotState ALIAS the network's internals:
+// the state is valid until the next mutation, which is exactly the
+// checkpoint discipline (serialize between rounds, then keep running).
+type NetState struct {
+	// Attach is the physical attachment point of each peer slot.
+	Attach []int
+	// Alive flags each slot's liveness.
+	Alive []bool
+	// Nbr is each slot's adjacency, sorted ascending. Entries whose
+	// other endpoint is dead are the half-open references a crash left
+	// behind; RestoreNetwork rebuilds the holder index from them.
+	Nbr [][]PeerID
+	// HostCache is each slot's remembered addresses, in cache order
+	// (order matters: Join dials the front first).
+	HostCache [][]PeerID
+	// Version is the journal's monotonic mutation counter.
+	Version uint64
+	// JournalBase is the version of the oldest retained journal entry;
+	// Version − JournalBase entries follow in Journal.
+	JournalBase uint64
+	// Journal is the retained journal tail.
+	Journal []Event
+}
+
+// SnapshotState captures the network's full history-dependent state.
+// The result aliases the network's own slices and is invalidated by the
+// next mutation; encode it (or deep-copy it) before mutating again.
+func (n *Network) SnapshotState() *NetState {
+	return &NetState{
+		Attach:      n.attach,
+		Alive:       n.alive,
+		Nbr:         n.nbr,
+		HostCache:   n.hostCache,
+		Version:     n.version,
+		JournalBase: n.journalBase,
+		Journal:     n.journal,
+	}
+}
+
+// RestoreNetwork rebuilds a Network from a snapshot against the given
+// oracle (regenerated from the run's seed). Every structural invariant
+// the live mutation paths maintain is validated — attachment ranges,
+// strictly-sorted adjacency, edge symmetry, no dead—dead edges, journal
+// bounds — and the derived tallies (edges, nAlive, dangling holders) are
+// reconstructed from scratch, so a torn or tampered snapshot that passed
+// its checksums still cannot install an inconsistent overlay.
+func RestoreNetwork(oracle *physical.Oracle, st *NetState) (*Network, error) {
+	nPeers := len(st.Attach)
+	if nPeers == 0 {
+		return nil, fmt.Errorf("overlay: restore: empty attachment table")
+	}
+	for i, a := range st.Attach {
+		if a < 0 || a >= oracle.N() {
+			return nil, fmt.Errorf("overlay: restore: attachment %d of peer %d out of range [0,%d)", a, i, oracle.N())
+		}
+	}
+	if len(st.Alive) != nPeers || len(st.Nbr) != nPeers || len(st.HostCache) != nPeers {
+		return nil, fmt.Errorf("overlay: restore: section sizes disagree (attach %d, alive %d, nbr %d, hostcache %d)",
+			nPeers, len(st.Alive), len(st.Nbr), len(st.HostCache))
+	}
+
+	n := &Network{
+		oracle:      oracle,
+		attach:      append([]int(nil), st.Attach...),
+		alive:       append([]bool(nil), st.Alive...),
+		nbr:         make([][]PeerID, nPeers),
+		hostCache:   make([][]PeerID, nPeers),
+		version:     st.Version,
+		journalBase: st.JournalBase,
+	}
+	for _, a := range st.Alive {
+		if a {
+			n.nAlive++
+		}
+	}
+
+	// Adjacency: strictly ascending, in range, no self loops, symmetric.
+	// Classify each undirected pair once (from its lower endpoint): both
+	// ends alive is a live edge; exactly one end alive is a half-open
+	// crash reference held by the live end; both dead is invalid (a dead
+	// peer's own adjacency must be empty).
+	for p := range st.Nbr {
+		row := st.Nbr[p]
+		if !st.Alive[p] && len(row) != 0 {
+			return nil, fmt.Errorf("overlay: restore: dead peer %d has %d adjacency entries", p, len(row))
+		}
+		prev := PeerID(-1)
+		for _, q := range row {
+			if q < 0 || int(q) >= nPeers {
+				return nil, fmt.Errorf("overlay: restore: peer %d adjacent to out-of-range %d", p, q)
+			}
+			if q == PeerID(p) {
+				return nil, fmt.Errorf("overlay: restore: peer %d adjacent to itself", p)
+			}
+			if q <= prev {
+				return nil, fmt.Errorf("overlay: restore: peer %d adjacency not strictly ascending at %d", p, q)
+			}
+			prev = q
+		}
+		n.nbr[p] = append([]PeerID(nil), row...)
+	}
+	for p := range n.nbr {
+		for _, q := range n.nbr[p] {
+			if st.Alive[q] {
+				if _, ok := slices.BinarySearch(n.nbr[q], PeerID(p)); !ok {
+					return nil, fmt.Errorf("overlay: restore: asymmetric edge %d—%d", p, q)
+				}
+				if PeerID(p) < q && st.Alive[p] {
+					n.edges++
+				}
+			} else {
+				// Half-open reference: p (alive — dead—dead was rejected
+				// above) still lists crashed q. Rebuild the holder index
+				// in the canonical order (ascending holder per dead peer,
+				// which the ascending p scan produces).
+				if n.danglingAt == nil {
+					n.danglingAt = make([][]PeerID, nPeers)
+				}
+				n.danglingAt[q] = append(n.danglingAt[q], PeerID(p))
+				n.dangling++
+			}
+		}
+	}
+
+	for p, hc := range st.HostCache {
+		for _, q := range hc {
+			if q < 0 || int(q) >= nPeers || q == PeerID(p) {
+				return nil, fmt.Errorf("overlay: restore: peer %d host cache holds invalid %d", p, q)
+			}
+		}
+		if len(hc) > 0 {
+			n.hostCache[p] = append([]PeerID(nil), hc...)
+		}
+	}
+
+	// Journal: the retained tail must span exactly (JournalBase, Version]
+	// with well-formed events, so restored consumers resynchronize — or
+	// resume incrementally — exactly as they would have in-process.
+	if st.JournalBase > st.Version {
+		return nil, fmt.Errorf("overlay: restore: journal base %d beyond version %d", st.JournalBase, st.Version)
+	}
+	if got, want := uint64(len(st.Journal)), st.Version-st.JournalBase; got != want {
+		return nil, fmt.Errorf("overlay: restore: journal holds %d events, version span needs %d", got, want)
+	}
+	for i, ev := range st.Journal {
+		switch ev.Kind {
+		case EventConnect, EventDisconnect:
+			if ev.P < 0 || int(ev.P) >= nPeers || ev.Q < 0 || int(ev.Q) >= nPeers {
+				return nil, fmt.Errorf("overlay: restore: journal[%d] edge event endpoints out of range", i)
+			}
+		case EventJoin, EventLeave, EventCrash:
+			if ev.P < 0 || int(ev.P) >= nPeers || ev.Q != -1 {
+				return nil, fmt.Errorf("overlay: restore: journal[%d] liveness event malformed", i)
+			}
+		default:
+			return nil, fmt.Errorf("overlay: restore: journal[%d] unknown event kind %d", i, ev.Kind)
+		}
+	}
+	if len(st.Journal) > 0 {
+		n.journal = append(make([]Event, 0, len(st.Journal)), st.Journal...)
+	}
+	return n, nil
+}

@@ -2,10 +2,17 @@ package sim
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
 )
+
+// newBareRand builds the pre-counting RNG construction for the
+// perturbation test: rand.Rand directly over rand.NewSource.
+func newBareRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
 
 func TestRNGDeterministic(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
@@ -47,6 +54,78 @@ func TestDeriveIndependentOfDrawOrder(t *testing.T) {
 	b := NewRNG(5).Derive("x").Int63()
 	if a != b {
 		t.Fatal("derived stream depends on parent draw position")
+	}
+}
+
+// TestPosSkipToRestoresStream is the snapshot/restore contract: a fresh
+// stream fast-forwarded to a captured position produces the identical
+// remaining sequence, across every draw kind (each consumes a different
+// number of source words — Intn rejection-samples, NormFloat64 loops —
+// which is exactly why the position counts source words, not calls).
+func TestPosSkipToRestoresStream(t *testing.T) {
+	orig := NewRNG(42)
+	if orig.Pos() != 0 {
+		t.Fatalf("fresh stream at position %d, want 0", orig.Pos())
+	}
+	for i := 0; i < 500; i++ {
+		switch i % 5 {
+		case 0:
+			orig.Int63()
+		case 1:
+			orig.Intn(7)
+		case 2:
+			orig.Float64()
+		case 3:
+			orig.NormFloat64()
+		case 4:
+			orig.Perm(5)
+		}
+	}
+	pos := orig.Pos()
+	if pos == 0 {
+		t.Fatal("position did not advance")
+	}
+
+	restored := NewRNG(42)
+	if err := restored.SkipTo(pos); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Pos() != pos {
+		t.Fatalf("restored position %d, want %d", restored.Pos(), pos)
+	}
+	for i := 0; i < 1000; i++ {
+		if a, b := orig.Uint64(), restored.Uint64(); a != b {
+			t.Fatalf("draw %d diverged after restore: %d vs %d", i, a, b)
+		}
+	}
+	if orig.Pos() != restored.Pos() {
+		t.Fatalf("positions diverged: %d vs %d", orig.Pos(), restored.Pos())
+	}
+}
+
+func TestSkipToRefusesRewind(t *testing.T) {
+	r := NewRNG(1)
+	r.Int63()
+	r.Int63()
+	if err := r.SkipTo(1); err == nil {
+		t.Fatal("SkipTo backwards should error")
+	}
+	if err := r.SkipTo(r.Pos()); err != nil {
+		t.Fatalf("SkipTo to current position should be a no-op, got %v", err)
+	}
+}
+
+// TestCountingSourceDoesNotPerturb pins that the counting wrapper leaves
+// the draw sequence bit-identical to a bare math/rand stream — the
+// wrapper implements Source64, so rand.Rand takes the same single-word
+// path it always took.
+func TestCountingSourceDoesNotPerturb(t *testing.T) {
+	bare := newBareRand(1234)
+	wrapped := NewRNG(1234)
+	for i := 0; i < 2000; i++ {
+		if a, b := bare.Int63(), wrapped.Int63(); a != b {
+			t.Fatalf("draw %d: wrapped stream diverged from bare math/rand: %d vs %d", i, a, b)
+		}
 	}
 }
 

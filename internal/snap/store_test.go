@@ -1,0 +1,174 @@
+package snap
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStoreSaveLoadAlternatesSlots(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(); err == nil {
+		t.Fatal("empty store loaded")
+	}
+
+	s := buildSnapshot(t, 11, 6)
+	for step := int64(1); step <= 3; step++ {
+		s.Meta.Step = step
+		if err := st.Save(s); err != nil {
+			t.Fatal(err)
+		}
+		got, warnings, err := st.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(warnings) != 0 {
+			t.Fatalf("clean store warned: %v", warnings)
+		}
+		if got.Meta.Step != step {
+			t.Fatalf("loaded step %d, want %d", got.Meta.Step, step)
+		}
+	}
+	// Three saves across two slots: both files exist, no temp debris.
+	entries, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 || names[0] != "snap-0.ace" || names[1] != "snap-1.ace" {
+		t.Fatalf("store directory holds %v", names)
+	}
+}
+
+// TestStoreFallsBackToOlderSlot is the corruption acceptance case: when
+// the newest slot is torn (truncated) or bit-rotted, Load must warn and
+// return the older slot instead of failing.
+func TestStoreFallsBackToOlderSlot(t *testing.T) {
+	for _, damage := range []struct {
+		name string
+		hurt func(data []byte) []byte
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)/3] }},
+		{"bitrot", func(d []byte) []byte {
+			d = append([]byte(nil), d...)
+			d[len(d)/2] ^= 0x40
+			return d
+		}},
+	} {
+		t.Run(damage.name, func(t *testing.T) {
+			st, err := OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := buildSnapshot(t, 13, 6)
+			s.Meta.Step = 10
+			if err := st.Save(s); err != nil {
+				t.Fatal(err)
+			}
+			s.Meta.Step = 20
+			if err := st.Save(s); err != nil {
+				t.Fatal(err)
+			}
+			// Find and damage the newer slot (step 20).
+			_, slot, _, err := st.newestValid()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(st.Dir(), slotName(slot))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, damage.hurt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			got, warnings, err := st.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Meta.Step != 10 {
+				t.Fatalf("fallback returned step %d, want 10", got.Meta.Step)
+			}
+			if len(warnings) != 1 || !strings.Contains(warnings[0], "falling back") {
+				t.Fatalf("expected a fallback warning, got %v", warnings)
+			}
+
+			// The next save must overwrite the corrupt slot, healing the
+			// store back to two valid checkpoints.
+			s.Meta.Step = 30
+			if err := st.Save(s); err != nil {
+				t.Fatal(err)
+			}
+			got, warnings, err = st.Load()
+			if err != nil || len(warnings) != 0 {
+				t.Fatalf("store did not heal: step=%v warnings=%v err=%v", got.Meta.Step, warnings, err)
+			}
+			if got.Meta.Step != 30 {
+				t.Fatalf("healed load returned step %d, want 30", got.Meta.Step)
+			}
+		})
+	}
+}
+
+func TestStoreBothSlotsCorruptErrors(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSnapshot(t, 17, 5)
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	s.Meta.Step++
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := os.WriteFile(filepath.Join(st.Dir(), slotName(i)), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, warnings, err := st.Load(); err == nil {
+		t.Fatal("load succeeded with both slots corrupt")
+	} else if len(warnings) != 2 {
+		t.Fatalf("want 2 warnings, got %v", warnings)
+	}
+}
+
+// TestStoreSameStateSameBytes: saving the same engine state twice (the
+// SIGTERM final checkpoint landing on the step a periodic save already
+// captured) produces byte-identical slots.
+func TestStoreSameStateSameBytes(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSnapshot(t, 19, 7)
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(st.Dir(), slotName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(st.Dir(), slotName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical states encoded to different bytes")
+	}
+}

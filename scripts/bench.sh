@@ -3,10 +3,11 @@
 # ns/op, allocs, and custom metrics (peers-rebuilt/op, full-rebuilds/op,
 # per-phase round nanos).
 #
-# Three modes: the default round mode covers the incremental round engine
+# Four modes: the default round mode covers the incremental round engine
 # (BENCH_round.json); -queries covers the per-query flood kernel
 # (BenchmarkEvaluate -> BENCH_query.json); -shards sweeps the sharded
-# round engine across shard counts and scales (BENCH_shards.json).
+# round engine across shard counts and scales (BENCH_shards.json);
+# -snap covers the checkpoint codec (BENCH_snap.json).
 #
 # Usage: scripts/bench.sh [options] [output.json]
 #   -queries           benchmark the query-flood kernel instead of the
@@ -16,6 +17,10 @@
 #                      round; output defaults to BENCH_shards.json. The
 #                      1M-peer round stays behind ACE_BENCH_MILLION=1
 #                      (export it to include the measurement)
+#   -snap              benchmark the service-mode checkpoint codec:
+#                      snapshot encode/decode throughput and on-disk
+#                      size at 10k and 100k peers; output defaults to
+#                      BENCH_snap.json
 #   -cpuprofile FILE   capture a CPU profile of the benchmark run
 #   -memprofile FILE   capture an allocation profile of the same run
 #   -compare [BASE]    do not write output: run fresh and print a ns/op
@@ -55,6 +60,7 @@ while [ $# -gt 0 ]; do
     case "$1" in
         -queries) MODE="queries"; shift ;;
         -shards) MODE="shards"; shift ;;
+        -snap) MODE="snap"; shift ;;
         -cpuprofile) PROFILE_FLAGS+=(-cpuprofile "$2"); shift 2 ;;
         -memprofile) PROFILE_FLAGS+=(-memprofile "$2"); shift 2 ;;
         -compare)
@@ -74,6 +80,7 @@ done
 DEFAULT="BENCH_round.json"
 [ "$MODE" = "queries" ] && DEFAULT="BENCH_query.json"
 [ "$MODE" = "shards" ] && DEFAULT="BENCH_shards.json"
+[ "$MODE" = "snap" ] && DEFAULT="BENCH_snap.json"
 [ -n "$OUT" ] || OUT="$DEFAULT"
 [ -n "$BASE" ] || BASE="$DEFAULT"
 
@@ -95,6 +102,13 @@ if [ "$MODE" = "queries" ]; then
     go test -run '^$' -bench 'BenchmarkEvaluate' \
         -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
         ${PROFILE_FLAGS[@]+"${PROFILE_FLAGS[@]}"} ./internal/gnutella/ | tee "$TMP"
+elif [ "$MODE" = "snap" ]; then
+    # The checkpoint codec: encode/decode wall time and MB/s at the two
+    # reference scales, with the bytes/snapshot metric recording the
+    # on-disk slot size (one checkpoint = one slot file).
+    go test -run '^$' -bench 'BenchmarkEncode|BenchmarkDecode' \
+        -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
+        ${PROFILE_FLAGS[@]+"${PROFILE_FLAGS[@]}"} ./internal/snap/ | tee "$TMP"
 elif [ "$MODE" = "shards" ]; then
     # The sharded-engine sweep: shard counts at 10k peers, the 100k-peer
     # target scale, and — when ACE_BENCH_MILLION=1 is exported — the
